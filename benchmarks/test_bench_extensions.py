@@ -1,0 +1,97 @@
+"""Benchmarks for the two "other aspects" the paper sketches in §1:
+FIB caching and load balancing.  Neither has a figure in the paper, so these
+benches quantify the benefit the text claims qualitatively."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import record_report
+from repro.experiments.stats import format_table
+from repro.extensions.fib_cache import FibCacheSupercharger
+from repro.extensions.load_balancing import Flow, HashEcmpRouter, LoadBalancingSupercharger
+from repro.net.addresses import IPv4Address
+from repro.routes.prefix_gen import PrefixGenerator
+from repro.sim.random import SeededRandom
+
+NEXT_HOPS = [IPv4Address("10.0.0.2"), IPv4Address("10.0.0.3"), IPv4Address("10.0.0.4")]
+
+
+def _full_table(count, seed=1):
+    prefixes = PrefixGenerator(seed=seed).generate(count)
+    random = SeededRandom(seed)
+    return [(prefix, random.choice(NEXT_HOPS)) for prefix in prefixes]
+
+
+def _zipf_popularity(routes, seed=2):
+    random = SeededRandom(seed)
+    ranked = list(routes)
+    random.shuffle(ranked)
+    return {prefix: 1.0 / (rank + 1) for rank, (prefix, _nh) in enumerate(ranked)}
+
+
+def test_fib_cache_hit_rate_vs_switch_size(benchmark):
+    """Correctly-routed traffic share vs switch cache size (ViAggre-style)."""
+    routes = _full_table(5_000)
+    popularity = _zipf_popularity(routes)
+
+    def run():
+        results = []
+        for switch_capacity in (64, 256, 1024, 4096):
+            cache = FibCacheSupercharger(
+                router_capacity=1_024, switch_capacity=switch_capacity, covering_length=10
+            )
+            cache.place(routes, popularity)
+            for prefix, _next_hop in routes:
+                cache.forward(IPv4Address(prefix.network.value + 1))
+            results.append((switch_capacity, cache.router_entries(), cache.stats.correct_fraction))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(capacity), str(router_entries), f"{fraction * 100:.1f}%"]
+        for capacity, router_entries, fraction in results
+    ]
+    record_report(
+        "Extension — FIB cache: correct-forwarding share vs switch cache size "
+        "(5k-route table, 1k-entry router FIB)",
+        format_table(["switch entries", "router entries", "correctly routed"], rows),
+    )
+    fractions = [fraction for _c, _r, fraction in results]
+    assert fractions == sorted(fractions)  # more cache, more correctness
+    assert fractions[-1] == 1.0
+
+
+def test_load_balancing_rebalance(benchmark):
+    """Residual ECMP imbalance vs number of switch overrides."""
+    random = SeededRandom(5)
+    flows = []
+    for index in range(400):
+        rate = 200.0 if index < 5 else random.uniform(1.0, 20.0)
+        flows.append(Flow(
+            src=IPv4Address(f"172.16.{index % 200}.7"),
+            dst=IPv4Address(f"8.8.{index % 200}.9"),
+            src_port=20_000 + index,
+            dst_port=443,
+            rate=rate,
+        ))
+    router = HashEcmpRouter(NEXT_HOPS, salt=11)
+
+    def run():
+        results = []
+        for budget in (0, 4, 16, 64):
+            supercharger = LoadBalancingSupercharger(router, max_overrides=budget)
+            report = supercharger.rebalance(flows)
+            results.append((budget, report.imbalance_before, report.imbalance_after))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(budget), f"{before:.3f}", f"{after:.3f}"]
+        for budget, before, after in results
+    ]
+    record_report(
+        "Extension — load balancing: max/mean load imbalance vs override budget",
+        format_table(["overrides", "imbalance before", "imbalance after"], rows),
+    )
+    final = results[-1]
+    assert final[2] <= final[1]
+    assert results[0][2] == results[0][1]  # zero budget changes nothing

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Compare FIB organisations: flat, hierarchical (PIC) and supercharged.
+
+The paper positions supercharging as a way to obtain PIC-class convergence
+on routers whose line cards only support a flat FIB.  This example measures
+all three designs on the same workload and prints the comparison.
+
+Run with::
+
+    python examples/fib_organisations.py [--prefixes N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.ablations import compare_fib_designs
+from repro.experiments.stats import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--prefixes", type=int, default=5_000)
+    arguments = parser.parse_args()
+    print(f"Comparing FIB organisations at {arguments.prefixes} prefixes…")
+    points = compare_fib_designs(num_prefixes=arguments.prefixes, monitored_flows=50)
+    rows = [
+        [
+            point.label,
+            f"{point.max_convergence * 1e3:.1f}",
+            f"{point.median_convergence * 1e3:.1f}",
+            f"{(point.detection_time or 0) * 1e3:.1f}",
+        ]
+        for point in points
+    ]
+    print()
+    print(format_table(
+        ["FIB organisation", "max conv (ms)", "median conv (ms)", "detection (ms)"], rows
+    ))
+    print(
+        "\nThe flat FIB pays one serial write per prefix; PIC and the"
+        "\nsupercharged router both converge by touching per-next-hop state"
+        "\nonly — but supercharging needs no new line cards."
+    )
+
+
+if __name__ == "__main__":
+    main()

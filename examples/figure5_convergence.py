@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regenerate Figure 5: convergence time vs number of prefixes.
+
+Runs the full sweep (reduced scale by default; set ``REPRO_FULL_SCALE=1``
+for the paper's 1 k – 500 k axis), prints the box statistics per cell next
+to the paper's reported maxima and renders a crude ASCII version of the
+figure.
+
+Run with::
+
+    python examples/figure5_convergence.py [--repetitions N] [--flows N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figure5 import Figure5Experiment, active_prefix_counts
+
+
+def ascii_plot(rows) -> str:
+    """Log-scale ASCII rendering of the two convergence curves."""
+    lines = ["", "convergence (s, log scale)   # = standalone, o = supercharged"]
+    standalone = {row.num_prefixes: row for row in rows if not row.supercharged}
+    supercharged = {row.num_prefixes: row for row in rows if row.supercharged}
+    import math
+
+    def column(value: float, width: int = 60) -> int:
+        # Map 1 ms .. 1000 s onto the width.
+        position = (math.log10(max(value, 1e-3)) + 3.0) / 6.0
+        return max(0, min(width - 1, int(position * width)))
+
+    for count in sorted(standalone):
+        row = [" "] * 60
+        slow = standalone[count].stats.maximum
+        fast = supercharged[count].stats.maximum if count in supercharged else None
+        row[column(slow)] = "#"
+        if fast is not None:
+            row[column(fast)] = "o"
+        lines.append(f"{count:>8} | " + "".join(row))
+    lines.append(" " * 10 + "+" + "-" * 60)
+    lines.append(" " * 10 + "1ms        10ms       100ms      1s         10s        100s")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="failovers per cell (paper: 3)")
+    parser.add_argument("--flows", type=int, default=100,
+                        help="monitored destinations per failover (paper: 100)")
+    arguments = parser.parse_args()
+
+    counts = list(active_prefix_counts())
+    print(f"Running Figure 5 sweep over {counts} "
+          f"({arguments.repetitions} repetitions x {arguments.flows} flows per cell)…")
+    experiment = Figure5Experiment(
+        prefix_counts=counts,
+        repetitions=arguments.repetitions,
+        monitored_flows=arguments.flows,
+    )
+    experiment.run()
+    print()
+    print(experiment.report())
+    print(ascii_plot(experiment.rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file only
+exists so that ``pip install -e .`` keeps working on offline machines that
+lack the ``wheel`` package (pip then falls back to the legacy
+``setup.py develop`` code path via ``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

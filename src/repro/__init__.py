@@ -1,0 +1,70 @@
+"""Reproduction of "Supercharge me: Boost Router Convergence with SDN".
+
+The package rebuilds, in pure Python, the complete system of the paper
+(Chang, Holterbach, Happe, Vanbever — SIGCOMM 2015): a discrete-event
+network simulator, BGP/ARP/BFD/OpenFlow substrates, a legacy-router model
+with the slow flat-FIB update path, the supercharged controller that pairs
+the router with an SDN switch, and the evaluation lab and experiment
+harnesses reproducing the paper's Figure 5 and micro-benchmarks.
+
+Quickstart
+----------
+
+>>> from repro import Simulator, build_convergence_lab
+>>> sim = Simulator(seed=1)
+>>> lab = build_convergence_lab(sim, num_prefixes=500, supercharged=True)
+>>> result = lab.run_failover(num_flows=20)
+>>> result.max_convergence_ms < 1000
+True
+"""
+
+from repro.sim import Simulator
+from repro.net import IPv4Address, IPv4Prefix, MacAddress
+from repro.bgp import BgpSpeaker, PathAttributes, UpdateMessage
+from repro.router import Router, RouterConfig, FibUpdaterConfig
+from repro.openflow import OpenFlowSwitch, SwitchConfig
+from repro.core import (
+    BackupGroupManager,
+    ControllerCluster,
+    SuperchargedController,
+    VnhAllocator,
+)
+from repro.routes import synthetic_full_table
+from repro.topology import ConvergenceLab, FailoverResult, LabConfig, build_convergence_lab
+from repro.experiments import (
+    BoxStats,
+    ControllerMicrobench,
+    Figure5Experiment,
+    run_figure5,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "IPv4Address",
+    "IPv4Prefix",
+    "MacAddress",
+    "BgpSpeaker",
+    "PathAttributes",
+    "UpdateMessage",
+    "Router",
+    "RouterConfig",
+    "FibUpdaterConfig",
+    "OpenFlowSwitch",
+    "SwitchConfig",
+    "BackupGroupManager",
+    "ControllerCluster",
+    "SuperchargedController",
+    "VnhAllocator",
+    "synthetic_full_table",
+    "ConvergenceLab",
+    "FailoverResult",
+    "LabConfig",
+    "build_convergence_lab",
+    "BoxStats",
+    "ControllerMicrobench",
+    "Figure5Experiment",
+    "run_figure5",
+    "__version__",
+]

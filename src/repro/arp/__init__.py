@@ -1,0 +1,18 @@
+"""ARP substrate: cache and request/reply protocol handling.
+
+The supercharged router resolves the controller's *virtual* next hops to
+*virtual* MAC addresses through perfectly ordinary ARP; this package
+provides the cache and protocol machinery used by routers (as clients)
+and by the controller's ARP responder (as server).
+"""
+
+from repro.arp.cache import ArpCache, ArpCacheEntry
+from repro.arp.protocol import ArpHandler, build_arp_reply, build_arp_request
+
+__all__ = [
+    "ArpCache",
+    "ArpCacheEntry",
+    "ArpHandler",
+    "build_arp_reply",
+    "build_arp_request",
+]

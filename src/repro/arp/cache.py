@@ -1,0 +1,70 @@
+"""ARP cache with ageing.
+
+Entries expire after a configurable lifetime; expired entries are pruned
+lazily on lookup, so no timers are needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.net.addresses import IPv4Address, MacAddress
+
+
+@dataclass
+class ArpCacheEntry:
+    """One resolved IP → MAC binding."""
+
+    ip: IPv4Address
+    mac: MacAddress
+    learned_at: float
+    static: bool = False
+
+    def is_expired(self, now: float, lifetime: float) -> bool:
+        """Whether the entry is stale (static entries never expire)."""
+        if self.static:
+            return False
+        return (now - self.learned_at) > lifetime
+
+
+class ArpCache:
+    """IP → MAC cache with lazy expiry."""
+
+    def __init__(self, lifetime: float = 1200.0) -> None:
+        if lifetime <= 0:
+            raise ValueError(f"lifetime must be positive, got {lifetime}")
+        self.lifetime = lifetime
+        self._entries: Dict[IPv4Address, ArpCacheEntry] = {}
+
+    def learn(
+        self, ip: IPv4Address, mac: MacAddress, now: float, static: bool = False
+    ) -> None:
+        """Insert or refresh a binding."""
+        self._entries[ip] = ArpCacheEntry(ip=ip, mac=mac, learned_at=now, static=static)
+
+    def lookup(self, ip: IPv4Address, now: float) -> Optional[MacAddress]:
+        """Resolve ``ip``; expired entries are removed and report a miss."""
+        entry = self._entries.get(ip)
+        if entry is None:
+            return None
+        if entry.is_expired(now, self.lifetime):
+            del self._entries[ip]
+            return None
+        return entry.mac
+
+    def invalidate(self, ip: IPv4Address) -> bool:
+        """Drop the binding for ``ip``; returns whether one existed."""
+        return self._entries.pop(ip, None) is not None
+
+    def flush(self) -> None:
+        """Drop every non-static binding."""
+        self._entries = {
+            ip: entry for ip, entry in self._entries.items() if entry.static
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, ip: IPv4Address) -> bool:
+        return ip in self._entries

@@ -1,0 +1,106 @@
+"""ARP request/reply construction and a generic protocol handler."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addresses import BROADCAST_MAC, IPv4Address, MacAddress
+from repro.net.packets import ArpOp, ArpPacket, EtherType, EthernetFrame
+
+
+def build_arp_request(
+    sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address
+) -> EthernetFrame:
+    """Build a broadcast who-has frame."""
+    packet = ArpPacket(
+        op=ArpOp.REQUEST,
+        sender_mac=sender_mac,
+        sender_ip=sender_ip,
+        target_mac=MacAddress(0),
+        target_ip=target_ip,
+    )
+    return EthernetFrame(
+        src_mac=sender_mac,
+        dst_mac=BROADCAST_MAC,
+        ethertype=EtherType.ARP,
+        payload=packet,
+    )
+
+
+def build_arp_reply(
+    sender_mac: MacAddress,
+    sender_ip: IPv4Address,
+    target_mac: MacAddress,
+    target_ip: IPv4Address,
+) -> EthernetFrame:
+    """Build a unicast is-at frame answering a request."""
+    packet = ArpPacket(
+        op=ArpOp.REPLY,
+        sender_mac=sender_mac,
+        sender_ip=sender_ip,
+        target_mac=target_mac,
+        target_ip=target_ip,
+    )
+    return EthernetFrame(
+        src_mac=sender_mac,
+        dst_mac=target_mac,
+        ethertype=EtherType.ARP,
+        payload=packet,
+    )
+
+
+class ArpHandler:
+    """Answers ARP requests for a set of owned IP addresses and learns
+    bindings from every ARP packet seen.
+
+    ``owned`` maps each IP address the handler answers for to the MAC it
+    should advertise — for a router interface this is the interface MAC,
+    for the supercharged controller's ARP responder it is the *virtual*
+    MAC of the backup group the virtual IP belongs to.
+    """
+
+    def __init__(
+        self,
+        cache,
+        now: Callable[[], float],
+        owned: Optional[Dict[IPv4Address, MacAddress]] = None,
+    ) -> None:
+        self._cache = cache
+        self._now = now
+        self._owned: Dict[IPv4Address, MacAddress] = dict(owned or {})
+        self.requests_answered = 0
+        self.requests_seen = 0
+
+    def register(self, ip: IPv4Address, mac: MacAddress) -> None:
+        """Start answering requests for ``ip`` with ``mac``."""
+        self._owned[ip] = mac
+
+    def unregister(self, ip: IPv4Address) -> bool:
+        """Stop answering for ``ip``; returns whether it was registered."""
+        return self._owned.pop(ip, None) is not None
+
+    def owns(self, ip: IPv4Address) -> bool:
+        """Whether the handler answers for ``ip``."""
+        return ip in self._owned
+
+    def owned_addresses(self) -> List[IPv4Address]:
+        """The IP addresses currently answered for."""
+        return list(self._owned.keys())
+
+    def handle(self, packet: ArpPacket) -> Optional[EthernetFrame]:
+        """Process an ARP packet; returns a reply frame when one is due."""
+        # Gratuitous learning: every ARP packet reveals the sender binding.
+        self._cache.learn(packet.sender_ip, packet.sender_mac, self._now())
+        if packet.op is ArpOp.REPLY:
+            return None
+        self.requests_seen += 1
+        mac = self._owned.get(packet.target_ip)
+        if mac is None:
+            return None
+        self.requests_answered += 1
+        return build_arp_reply(
+            sender_mac=mac,
+            sender_ip=packet.target_ip,
+            target_mac=packet.sender_mac,
+            target_ip=packet.sender_ip,
+        )

@@ -1,0 +1,12 @@
+"""BFD substrate (RFC 5880 asynchronous mode, simulated).
+
+The paper uses FreeBFD to detect peer failure quickly; detection latency
+(transmit interval × detect multiplier) is the first component of the
+supercharged router's ~150 ms convergence budget, so the session state
+machine and its timing are reproduced faithfully.
+"""
+
+from repro.bfd.session import BfdSession, BfdSessionState
+from repro.bfd.manager import BfdManager
+
+__all__ = ["BfdSession", "BfdSessionState", "BfdManager"]

@@ -1,0 +1,130 @@
+"""BGP path attributes.
+
+Only the attributes that influence the decision process (and therefore the
+backup-group computation) are modelled: ORIGIN, AS_PATH, NEXT_HOP,
+MULTI_EXIT_DISC, LOCAL_PREF and COMMUNITIES.  Attributes are immutable;
+"modification" helpers return new instances so routes can be shared safely
+between RIBs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import FrozenSet, Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+
+
+class Origin(enum.IntEnum):
+    """BGP ORIGIN attribute.  Lower is preferred by the decision process."""
+
+    IGP = 0
+    EGP = 1
+    INCOMPLETE = 2
+
+
+class AsPath:
+    """AS_PATH as a sequence of AS numbers (AS_SEQUENCE only).
+
+    AS_SETs add nothing to the reproduced experiments and are omitted;
+    the class still provides the operations BGP needs: length, loop
+    detection and prepending.
+    """
+
+    __slots__ = ("_asns",)
+
+    def __init__(self, asns: Tuple[int, ...] = ()) -> None:
+        self._asns = tuple(int(asn) for asn in asns)
+        for asn in self._asns:
+            if not 0 < asn < 2 ** 32:
+                raise ValueError(f"invalid AS number: {asn}")
+
+    @classmethod
+    def from_string(cls, text: str) -> "AsPath":
+        """Parse a space-separated AS path, e.g. ``"6939 3356 15169"``."""
+        text = text.strip()
+        if not text:
+            return cls(())
+        return cls(tuple(int(token) for token in text.split()))
+
+    @property
+    def asns(self) -> Tuple[int, ...]:
+        """The AS numbers, left-most (most recent) first."""
+        return self._asns
+
+    @property
+    def length(self) -> int:
+        """AS path length used by the decision process."""
+        return len(self._asns)
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        """The AS that originated the route (right-most), if any."""
+        return self._asns[-1] if self._asns else None
+
+    @property
+    def neighbor_as(self) -> Optional[int]:
+        """The AS the route was most recently learned from (left-most)."""
+        return self._asns[0] if self._asns else None
+
+    def contains(self, asn: int) -> bool:
+        """Loop detection: whether ``asn`` already appears in the path."""
+        return asn in self._asns
+
+    def prepend(self, asn: int, count: int = 1) -> "AsPath":
+        """Return a new path with ``asn`` prepended ``count`` times."""
+        if count < 1:
+            raise ValueError(f"count must be >= 1, got {count}")
+        return AsPath((asn,) * count + self._asns)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, AsPath) and other._asns == self._asns
+
+    def __hash__(self) -> int:
+        return hash(("aspath", self._asns))
+
+    def __len__(self) -> int:
+        return len(self._asns)
+
+    def __str__(self) -> str:
+        return " ".join(str(asn) for asn in self._asns)
+
+    def __repr__(self) -> str:
+        return f"AsPath('{self}')"
+
+
+@dataclass(frozen=True)
+class PathAttributes:
+    """The attribute set attached to a BGP route announcement."""
+
+    next_hop: IPv4Address
+    as_path: AsPath = field(default_factory=AsPath)
+    origin: Origin = Origin.IGP
+    local_pref: int = 100
+    med: int = 0
+    communities: FrozenSet[Tuple[int, int]] = frozenset()
+
+    def with_next_hop(self, next_hop: IPv4Address) -> "PathAttributes":
+        """Copy with a rewritten NEXT_HOP — the controller's core trick."""
+        return replace(self, next_hop=next_hop)
+
+    def with_local_pref(self, local_pref: int) -> "PathAttributes":
+        """Copy with a different LOCAL_PREF (set by import policy)."""
+        if local_pref < 0:
+            raise ValueError(f"local_pref must be non-negative, got {local_pref}")
+        return replace(self, local_pref=local_pref)
+
+    def with_med(self, med: int) -> "PathAttributes":
+        """Copy with a different MULTI_EXIT_DISC."""
+        if med < 0:
+            raise ValueError(f"med must be non-negative, got {med}")
+        return replace(self, med=med)
+
+    def prepended(self, asn: int, count: int = 1) -> "PathAttributes":
+        """Copy with ``asn`` prepended to the AS path (done when exporting eBGP)."""
+        return replace(self, as_path=self.as_path.prepend(asn, count))
+
+    def with_community(self, community: Tuple[int, int]) -> "PathAttributes":
+        """Copy with an extra community value attached."""
+        return replace(self, communities=self.communities | {community})

@@ -1,0 +1,114 @@
+"""The BGP best-path decision process.
+
+The paper extended ExaBGP "with a complete implementation of the BGP
+Decision Process"; this module is that implementation.  Routes are ranked
+with the standard tie-breaking ladder:
+
+1. Highest LOCAL_PREF.
+2. Shortest AS_PATH.
+3. Lowest ORIGIN (IGP < EGP < INCOMPLETE).
+4. Lowest MED (compared across all routes — "always-compare-med" — which
+   keeps the ranking a total order; per-neighbor MED comparison is not a
+   total order and would make backup ranking ambiguous).
+5. eBGP preferred over iBGP.
+6. Lowest IGP cost to the next hop.
+7. Lowest router id.
+8. Lowest peer address.
+
+Ranking the *entire* list — not just picking a winner — is what lets the
+supercharged controller read off (primary, backup) pairs directly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.bgp.rib import Route
+
+
+def _preference_key(route: Route) -> Tuple:
+    """Sort key implementing the decision ladder (ascending sort = best first)."""
+    return (
+        -route.attributes.local_pref,
+        route.attributes.as_path.length,
+        int(route.attributes.origin),
+        route.attributes.med,
+        0 if route.source.is_ebgp else 1,
+        route.igp_cost,
+        route.source.router_id.value,
+        route.source.peer_ip.value,
+    )
+
+
+def rank_routes(routes: Iterable[Route]) -> List[Route]:
+    """Return the routes ordered best-first according to the decision process."""
+    return sorted(routes, key=_preference_key)
+
+
+def best_path(routes: Iterable[Route]) -> Optional[Route]:
+    """Return the single best route, or ``None`` for an empty iterable."""
+    ranked = rank_routes(routes)
+    return ranked[0] if ranked else None
+
+
+def compare(route_a: Route, route_b: Route) -> int:
+    """Three-way comparison: negative if ``route_a`` is preferred, positive if
+    ``route_b`` is preferred, zero only for identical keys."""
+    key_a, key_b = _preference_key(route_a), _preference_key(route_b)
+    if key_a < key_b:
+        return -1
+    if key_a > key_b:
+        return 1
+    return 0
+
+
+class DecisionProcess:
+    """Configurable decision process.
+
+    The default configuration follows the module-level ladder.  Setting
+    ``compare_med_always=False`` restores the classical "only compare MED
+    between routes from the same neighboring AS" behaviour, and
+    ``ignore_as_path_length=True`` models operators that disable that step.
+    Both knobs exist mainly so ablation experiments can show the backup
+    ranking is robust to decision-process variations.
+    """
+
+    def __init__(
+        self,
+        compare_med_always: bool = True,
+        ignore_as_path_length: bool = False,
+    ) -> None:
+        self.compare_med_always = compare_med_always
+        self.ignore_as_path_length = ignore_as_path_length
+
+    def _key(self, route: Route, med_by_neighbor_rank: int) -> Tuple:
+        return (
+            -route.attributes.local_pref,
+            0 if self.ignore_as_path_length else route.attributes.as_path.length,
+            int(route.attributes.origin),
+            route.attributes.med if self.compare_med_always else med_by_neighbor_rank,
+            0 if route.source.is_ebgp else 1,
+            route.igp_cost,
+            route.source.router_id.value,
+            route.source.peer_ip.value,
+        )
+
+    def rank(self, routes: Sequence[Route]) -> List[Route]:
+        """Order ``routes`` best-first."""
+        if self.compare_med_always:
+            return sorted(routes, key=lambda r: self._key(r, 0))
+        # Per-neighbor MED: rank MED only among routes sharing a neighbor AS.
+        med_rank = {}
+        by_neighbor = {}
+        for route in routes:
+            by_neighbor.setdefault(route.attributes.as_path.neighbor_as, []).append(route)
+        for neighbor_routes in by_neighbor.values():
+            ordered = sorted(neighbor_routes, key=lambda r: r.attributes.med)
+            for rank, route in enumerate(ordered):
+                med_rank[id(route)] = rank
+        return sorted(routes, key=lambda r: self._key(r, med_rank.get(id(r), 0)))
+
+    def best(self, routes: Sequence[Route]) -> Optional[Route]:
+        """The single best route under this configuration."""
+        ranked = self.rank(routes)
+        return ranked[0] if ranked else None

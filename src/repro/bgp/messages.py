@@ -1,0 +1,111 @@
+"""BGP-4 message types (RFC 4271, simulated subset).
+
+Messages are immutable value objects exchanged over the abstracted BGP
+transport (:class:`repro.net.packets.BgpTransport`).  An UPDATE carries at
+most one NLRI prefix, mirroring the per-prefix processing of the paper's
+Listing 1 and keeping bookkeeping simple; feeds with hundreds of thousands
+of prefixes are simply streams of single-prefix updates (which is also how
+ExaBGP hands routes to user code).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class BgpMessage:
+    """Base class for all BGP messages."""
+
+    message_id: int = field(default_factory=lambda: next(_message_ids), init=False)
+
+    @property
+    def kind(self) -> str:
+        """Lower-case message kind, e.g. ``"update"``."""
+        return type(self).__name__.replace("Message", "").lower()
+
+
+@dataclass(frozen=True)
+class OpenMessage(BgpMessage):
+    """OPEN: announces the speaker's AS number, router id and hold time."""
+
+    asn: int = 0
+    router_id: IPv4Address = IPv4Address(0)
+    hold_time: float = 90.0
+
+
+@dataclass(frozen=True)
+class KeepaliveMessage(BgpMessage):
+    """KEEPALIVE: refreshes the hold timer."""
+
+
+@dataclass(frozen=True)
+class NotificationMessage(BgpMessage):
+    """NOTIFICATION: signals an error and closes the session."""
+
+    error_code: int = 0
+    error_subcode: int = 0
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class UpdateMessage(BgpMessage):
+    """UPDATE: announce or withdraw a single prefix.
+
+    ``attributes is None`` means the message is a withdraw of ``prefix``.
+    """
+
+    prefix: IPv4Prefix = IPv4Prefix("0.0.0.0/0")
+    attributes: Optional[PathAttributes] = None
+
+    @property
+    def is_withdraw(self) -> bool:
+        """True when the update withdraws the prefix."""
+        return self.attributes is None
+
+    @property
+    def is_announcement(self) -> bool:
+        """True when the update announces a path for the prefix."""
+        return self.attributes is not None
+
+    @classmethod
+    def announce(cls, prefix: IPv4Prefix, attributes: PathAttributes) -> "UpdateMessage":
+        """Build an announcement."""
+        return cls(prefix=prefix, attributes=attributes)
+
+    @classmethod
+    def withdraw(cls, prefix: IPv4Prefix) -> "UpdateMessage":
+        """Build a withdraw."""
+        return cls(prefix=prefix, attributes=None)
+
+    def rewritten_next_hop(self, next_hop: IPv4Address) -> "UpdateMessage":
+        """Copy of the announcement with the NEXT_HOP rewritten.
+
+        This is the provisioning primitive of the supercharged controller:
+        the only thing it changes in the routes it relays to the router is
+        the next hop (pointing at a virtual next hop).
+        """
+        if self.attributes is None:
+            raise ValueError("cannot rewrite the next hop of a withdraw")
+        return UpdateMessage(
+            prefix=self.prefix,
+            attributes=self.attributes.with_next_hop(next_hop),
+        )
+
+
+def split_feed(
+    updates: Tuple[UpdateMessage, ...], chunk_size: int
+) -> Tuple[Tuple[UpdateMessage, ...], ...]:
+    """Split a long stream of updates into chunks (batch injection helper)."""
+    if chunk_size <= 0:
+        raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+    return tuple(
+        tuple(updates[i : i + chunk_size]) for i in range(0, len(updates), chunk_size)
+    )

@@ -1,0 +1,127 @@
+"""Import and export policies (route maps).
+
+The paper's R1 is "configured to prefer R2 for all destinations", which an
+operator expresses with an import route map that raises LOCAL_PREF on the
+session towards the preferred provider.  The classes here model the small
+subset of route-map functionality that configuration needs, plus prefix
+filters used by tests and the feed tooling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addresses import IPv4Prefix
+
+
+@dataclass
+class RouteMapEntry:
+    """One ``match → set`` clause of a route map.
+
+    ``match_prefixes`` empty means "match everything".  Actions that are
+    ``None`` leave the corresponding attribute untouched.
+    """
+
+    match_prefixes: Sequence[IPv4Prefix] = ()
+    set_local_pref: Optional[int] = None
+    set_med: Optional[int] = None
+    prepend_asn: Optional[int] = None
+    prepend_count: int = 1
+    deny: bool = False
+
+    def matches(self, prefix: IPv4Prefix) -> bool:
+        """Whether the clause applies to ``prefix``."""
+        if not self.match_prefixes:
+            return True
+        return any(candidate.contains(prefix) for candidate in self.match_prefixes)
+
+    def apply(self, attributes: PathAttributes) -> Optional[PathAttributes]:
+        """Apply the set actions; returns ``None`` when the clause denies."""
+        if self.deny:
+            return None
+        result = attributes
+        if self.set_local_pref is not None:
+            result = result.with_local_pref(self.set_local_pref)
+        if self.set_med is not None:
+            result = result.with_med(self.set_med)
+        if self.prepend_asn is not None:
+            result = result.prepended(self.prepend_asn, self.prepend_count)
+        return result
+
+
+@dataclass
+class RouteMap:
+    """An ordered list of route-map entries; first matching entry wins."""
+
+    name: str = "route-map"
+    entries: List[RouteMapEntry] = field(default_factory=list)
+
+    def add(self, entry: RouteMapEntry) -> "RouteMap":
+        """Append an entry and return ``self`` for chaining."""
+        self.entries.append(entry)
+        return self
+
+    def evaluate(
+        self, prefix: IPv4Prefix, attributes: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Run the route map; ``None`` means the route is rejected.
+
+        A route that matches no entry is accepted unchanged (permissive
+        default, matching the behaviour the paper's setup relies on).
+        """
+        for entry in self.entries:
+            if entry.matches(prefix):
+                return entry.apply(attributes)
+        return attributes
+
+
+class ImportPolicy:
+    """Per-peer inbound policy applied before routes enter the Loc-RIB."""
+
+    def __init__(self, route_map: Optional[RouteMap] = None) -> None:
+        self._route_map = route_map
+
+    def apply(
+        self, prefix: IPv4Prefix, attributes: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Transform (or reject, returning ``None``) an incoming route."""
+        if self._route_map is None:
+            return attributes
+        return self._route_map.evaluate(prefix, attributes)
+
+    @classmethod
+    def prefer(cls, local_pref: int) -> "ImportPolicy":
+        """Policy that sets LOCAL_PREF on everything learned from the peer.
+
+        This is how the experiments make R1 prefer R2 ($) over R3 ($$).
+        """
+        return cls(RouteMap(entries=[RouteMapEntry(set_local_pref=local_pref)]))
+
+
+class ExportPolicy:
+    """Per-peer outbound policy applied before announcing to the peer."""
+
+    def __init__(
+        self,
+        route_map: Optional[RouteMap] = None,
+        predicate: Optional[Callable[[IPv4Prefix, PathAttributes], bool]] = None,
+    ) -> None:
+        self._route_map = route_map
+        self._predicate = predicate
+
+    def apply(
+        self, prefix: IPv4Prefix, attributes: PathAttributes
+    ) -> Optional[PathAttributes]:
+        """Transform (or suppress, returning ``None``) an outgoing route."""
+        if self._predicate is not None and not self._predicate(prefix, attributes):
+            return None
+        if self._route_map is None:
+            return attributes
+        return self._route_map.evaluate(prefix, attributes)
+
+    @classmethod
+    def deny_all(cls) -> "ExportPolicy":
+        """Policy that suppresses every announcement (stub/sink peers)."""
+        return cls(predicate=lambda prefix, attributes: False)

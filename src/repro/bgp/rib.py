@@ -1,0 +1,223 @@
+"""Routing Information Bases.
+
+Three structures mirror a real BGP implementation:
+
+* :class:`AdjRibIn` — routes learned from one peer, keyed by prefix.
+* :class:`LocRib` — for every prefix, *all* known routes ranked by the
+  decision process (position 0 is the best path, position 1 the backup).
+  Keeping the full ranked list — rather than only the winner — is exactly
+  what the supercharged controller needs to compute backup groups.
+* :class:`AdjRibOut` — what has been advertised to one peer, so the
+  speaker can suppress duplicate announcements and emit withdraws.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.bgp.attributes import PathAttributes
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class RouteSource:
+    """Identity of the peer a route was learned from."""
+
+    peer_ip: IPv4Address
+    peer_asn: int
+    router_id: IPv4Address
+    is_ebgp: bool = True
+
+
+@dataclass(frozen=True)
+class Route:
+    """One path towards one prefix, as stored in the RIBs."""
+
+    prefix: IPv4Prefix
+    attributes: PathAttributes
+    source: RouteSource
+    learned_at: float = 0.0
+    igp_cost: int = 0
+
+    @property
+    def next_hop(self) -> IPv4Address:
+        """Convenience accessor for the NEXT_HOP attribute."""
+        return self.attributes.next_hop
+
+    def replace_attributes(self, attributes: PathAttributes) -> "Route":
+        """Copy of the route with different attributes (import policy result)."""
+        return Route(
+            prefix=self.prefix,
+            attributes=attributes,
+            source=self.source,
+            learned_at=self.learned_at,
+            igp_cost=self.igp_cost,
+        )
+
+
+@dataclass(frozen=True)
+class RibChange:
+    """Outcome of inserting/removing a route in the Loc-RIB for one prefix.
+
+    ``old_best``/``new_best`` capture the winner before and after, while
+    ``old_ranking``/``new_ranking`` capture the full ordered lists (what
+    Listing 1 consumes to detect backup-group changes).
+    """
+
+    prefix: IPv4Prefix
+    old_best: Optional[Route]
+    new_best: Optional[Route]
+    old_ranking: Tuple[Route, ...]
+    new_ranking: Tuple[Route, ...]
+
+    @property
+    def best_changed(self) -> bool:
+        """Whether the best path changed (including appearing/disappearing)."""
+        return self.old_best != self.new_best
+
+    @property
+    def backup_group_changed(self) -> bool:
+        """Whether the (primary, backup) next-hop pair changed."""
+        return self._group(self.old_ranking) != self._group(self.new_ranking)
+
+    @staticmethod
+    def _group(ranking: Tuple[Route, ...]) -> Tuple[Optional[IPv4Address], ...]:
+        return tuple(route.next_hop for route in ranking[:2])
+
+
+class AdjRibIn:
+    """Routes learned from a single peer, keyed by prefix."""
+
+    def __init__(self, peer_ip: IPv4Address) -> None:
+        self.peer_ip = peer_ip
+        self._routes: Dict[IPv4Prefix, Route] = {}
+
+    def insert(self, route: Route) -> Optional[Route]:
+        """Store a route, returning the replaced route if any."""
+        previous = self._routes.get(route.prefix)
+        self._routes[route.prefix] = route
+        return previous
+
+    def remove(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """Remove the route for ``prefix``, returning it if present."""
+        return self._routes.pop(prefix, None)
+
+    def get(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """The route for ``prefix`` learned from this peer, if any."""
+        return self._routes.get(prefix)
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        """Iterate all prefixes learned from this peer."""
+        return iter(self._routes.keys())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._routes
+
+
+class AdjRibOut:
+    """Routes advertised to a single peer, keyed by prefix."""
+
+    def __init__(self, peer_ip: IPv4Address) -> None:
+        self.peer_ip = peer_ip
+        self._advertised: Dict[IPv4Prefix, PathAttributes] = {}
+
+    def record_announce(self, prefix: IPv4Prefix, attributes: PathAttributes) -> bool:
+        """Record an announcement; returns ``False`` if it is a duplicate."""
+        if self._advertised.get(prefix) == attributes:
+            return False
+        self._advertised[prefix] = attributes
+        return True
+
+    def record_withdraw(self, prefix: IPv4Prefix) -> bool:
+        """Record a withdraw; returns ``False`` if nothing was advertised."""
+        return self._advertised.pop(prefix, None) is not None
+
+    def advertised(self, prefix: IPv4Prefix) -> Optional[PathAttributes]:
+        """Attributes last advertised for ``prefix``, if any."""
+        return self._advertised.get(prefix)
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        """Iterate all currently advertised prefixes."""
+        return iter(self._advertised.keys())
+
+    def __len__(self) -> int:
+        return len(self._advertised)
+
+
+class LocRib:
+    """All known routes per prefix, kept ranked by the decision process."""
+
+    def __init__(self, ranker) -> None:
+        """``ranker`` is a callable ``(routes) -> ordered list`` — usually
+        :meth:`repro.bgp.decision.DecisionProcess.rank`."""
+        self._ranker = ranker
+        self._routes: Dict[IPv4Prefix, List[Route]] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def update(self, route: Route) -> RibChange:
+        """Insert (or replace, keyed by source peer) a route and re-rank."""
+        prefix = route.prefix
+        current = self._routes.get(prefix, [])
+        old_ranking = tuple(current)
+        old_best = current[0] if current else None
+        remaining = [r for r in current if r.source.peer_ip != route.source.peer_ip]
+        remaining.append(route)
+        ranked = self._ranker(remaining)
+        self._routes[prefix] = ranked
+        new_best = ranked[0] if ranked else None
+        return RibChange(prefix, old_best, new_best, old_ranking, tuple(ranked))
+
+    def withdraw(self, prefix: IPv4Prefix, peer_ip: IPv4Address) -> RibChange:
+        """Remove the route learned from ``peer_ip`` for ``prefix`` and re-rank."""
+        current = self._routes.get(prefix, [])
+        old_ranking = tuple(current)
+        old_best = current[0] if current else None
+        remaining = [r for r in current if r.source.peer_ip != peer_ip]
+        ranked = self._ranker(remaining)
+        if ranked:
+            self._routes[prefix] = ranked
+        else:
+            self._routes.pop(prefix, None)
+        new_best = ranked[0] if ranked else None
+        return RibChange(prefix, old_best, new_best, old_ranking, tuple(ranked))
+
+    def withdraw_peer(self, peer_ip: IPv4Address) -> List[RibChange]:
+        """Remove every route learned from ``peer_ip`` (session loss)."""
+        changes = []
+        for prefix in list(self._routes.keys()):
+            if any(r.source.peer_ip == peer_ip for r in self._routes[prefix]):
+                changes.append(self.withdraw(prefix, peer_ip))
+        return changes
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def best(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """The best path for ``prefix``, if any."""
+        routes = self._routes.get(prefix)
+        return routes[0] if routes else None
+
+    def ranking(self, prefix: IPv4Prefix) -> Tuple[Route, ...]:
+        """All known paths for ``prefix`` in preference order."""
+        return tuple(self._routes.get(prefix, ()))
+
+    def backup(self, prefix: IPv4Prefix) -> Optional[Route]:
+        """The second-best path (the backup), if any."""
+        routes = self._routes.get(prefix, [])
+        return routes[1] if len(routes) > 1 else None
+
+    def prefixes(self) -> Iterator[IPv4Prefix]:
+        """Iterate all prefixes with at least one path."""
+        return iter(self._routes.keys())
+
+    def __len__(self) -> int:
+        return len(self._routes)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._routes

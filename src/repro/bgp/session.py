@@ -1,0 +1,272 @@
+"""BGP session finite-state machine.
+
+A reduced version of the RFC 4271 FSM with the states that matter for the
+experiments: Idle → Connect → OpenSent → OpenConfirm → Established, plus
+hold-timer expiry and administrative/notification shutdown.  The transport
+is abstracted: the owner supplies a ``send`` callable and feeds incoming
+messages to :meth:`BgpSession.receive`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from repro.bgp.messages import (
+    BgpMessage,
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+)
+from repro.net.addresses import IPv4Address
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.process import PeriodicProcess
+
+
+class BgpSessionState(enum.Enum):
+    """RFC 4271 session states (Active is folded into Connect)."""
+
+    IDLE = "idle"
+    CONNECT = "connect"
+    OPEN_SENT = "open_sent"
+    OPEN_CONFIRM = "open_confirm"
+    ESTABLISHED = "established"
+
+
+class BgpSession:
+    """One BGP adjacency towards a single peer.
+
+    Parameters
+    ----------
+    sim:
+        Simulator used for hold/keepalive timers.
+    local_asn, local_router_id:
+        Identity advertised in our OPEN.
+    peer_ip:
+        The peer's address (used only for diagnostics and callbacks).
+    send:
+        Callable delivering a :class:`BgpMessage` to the peer.
+    hold_time:
+        Negotiated-down hold time proposed in our OPEN, in seconds.
+    connect_delay:
+        Simulated TCP establishment delay before the OPEN is sent.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        local_asn: int,
+        local_router_id: IPv4Address,
+        peer_ip: IPv4Address,
+        send: Callable[[BgpMessage], None],
+        hold_time: float = 90.0,
+        connect_delay: float = 0.01,
+        connect_retry: float = 5.0,
+    ) -> None:
+        self._sim = sim
+        self.local_asn = local_asn
+        self.local_router_id = local_router_id
+        self.peer_ip = peer_ip
+        self._send = send
+        self.configured_hold_time = hold_time
+        self.negotiated_hold_time = hold_time
+        self._connect_delay = connect_delay
+        self._connect_retry = connect_retry
+        self._state = BgpSessionState.IDLE
+        self._hold_timer: Optional[EventHandle] = None
+        self._keepalive_process: Optional[PeriodicProcess] = None
+        self._established_callbacks: List[Callable[["BgpSession"], None]] = []
+        self._down_callbacks: List[Callable[["BgpSession", str], None]] = []
+        self._update_callbacks: List[Callable[["BgpSession", UpdateMessage], None]] = []
+        self.peer_asn: Optional[int] = None
+        self.peer_router_id: Optional[IPv4Address] = None
+        self.updates_received = 0
+        self.updates_sent = 0
+
+    # ------------------------------------------------------------------
+    # Observers
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> BgpSessionState:
+        """Current FSM state."""
+        return self._state
+
+    @property
+    def is_established(self) -> bool:
+        """Whether UPDATEs may be exchanged."""
+        return self._state is BgpSessionState.ESTABLISHED
+
+    def on_established(self, callback: Callable[["BgpSession"], None]) -> None:
+        """Register a callback fired when the session reaches Established."""
+        self._established_callbacks.append(callback)
+
+    def on_down(self, callback: Callable[["BgpSession", str], None]) -> None:
+        """Register a callback fired when the session leaves Established."""
+        self._down_callbacks.append(callback)
+
+    def on_update(self, callback: Callable[["BgpSession", UpdateMessage], None]) -> None:
+        """Register a callback fired for every received UPDATE."""
+        self._update_callbacks.append(callback)
+
+    # ------------------------------------------------------------------
+    # Administrative events
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Administrative start: begin connecting and send our OPEN."""
+        if self._state is not BgpSessionState.IDLE:
+            return
+        self._state = BgpSessionState.CONNECT
+        self._sim.schedule(self._connect_delay, self._send_open, name="bgp-open")
+
+    def stop(self, reason: str = "administrative stop") -> None:
+        """Administrative stop: notify the peer and fall back to Idle."""
+        if self._state is BgpSessionState.IDLE:
+            return
+        if self._state is BgpSessionState.ESTABLISHED:
+            self._send(NotificationMessage(error_code=6, reason=reason))
+        self._tear_down(reason)
+
+    def connection_lost(self, reason: str = "connection lost") -> None:
+        """Transport-level failure (link down, peer crash)."""
+        if self._state is BgpSessionState.IDLE:
+            return
+        self._tear_down(reason)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_update(self, update: UpdateMessage) -> None:
+        """Send an UPDATE to the peer (only valid once established)."""
+        if not self.is_established:
+            raise RuntimeError(
+                f"session to {self.peer_ip} is {self._state.value}, cannot send updates"
+            )
+        self.updates_sent += 1
+        self._send(update)
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def receive(self, message: BgpMessage) -> None:
+        """Feed a message received from the peer into the FSM."""
+        if isinstance(message, OpenMessage):
+            self._handle_open(message)
+        elif isinstance(message, KeepaliveMessage):
+            self._handle_keepalive()
+        elif isinstance(message, UpdateMessage):
+            self._handle_update(message)
+        elif isinstance(message, NotificationMessage):
+            self._tear_down(f"notification from peer: {message.reason}")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _send_open(self) -> None:
+        if self._state is not BgpSessionState.CONNECT:
+            return
+        self._send(
+            OpenMessage(
+                asn=self.local_asn,
+                router_id=self.local_router_id,
+                hold_time=self.configured_hold_time,
+            )
+        )
+        self._state = BgpSessionState.OPEN_SENT
+        self._schedule_connect_retry()
+
+    def _schedule_connect_retry(self) -> None:
+        """Re-send our OPEN if the handshake stalls (e.g. the first OPEN was
+        lost while the peer's ARP entry was still unresolved)."""
+
+        def retry() -> None:
+            if self._state in (BgpSessionState.CONNECT, BgpSessionState.OPEN_SENT):
+                self._send(
+                    OpenMessage(
+                        asn=self.local_asn,
+                        router_id=self.local_router_id,
+                        hold_time=self.configured_hold_time,
+                    )
+                )
+                self._state = BgpSessionState.OPEN_SENT
+                self._schedule_connect_retry()
+
+        self._sim.schedule(self._connect_retry, retry, name=f"bgp-retry:{self.peer_ip}")
+
+    def _handle_open(self, message: OpenMessage) -> None:
+        if self._state not in (
+            BgpSessionState.CONNECT,
+            BgpSessionState.OPEN_SENT,
+        ):
+            return
+        self.peer_asn = message.asn
+        self.peer_router_id = message.router_id
+        self.negotiated_hold_time = min(self.configured_hold_time, message.hold_time)
+        # Re-send our OPEN unconditionally: if ours was lost (e.g. dropped
+        # while the peer's L2 address was unresolved) the peer is still
+        # waiting for it, and a duplicate OPEN is ignored otherwise.
+        self._send(
+            OpenMessage(
+                asn=self.local_asn,
+                router_id=self.local_router_id,
+                hold_time=self.configured_hold_time,
+            )
+        )
+        self._send(KeepaliveMessage())
+        self._state = BgpSessionState.OPEN_CONFIRM
+        self._restart_hold_timer()
+
+    def _handle_keepalive(self) -> None:
+        if self._state is BgpSessionState.OPEN_CONFIRM:
+            self._state = BgpSessionState.ESTABLISHED
+            self._start_keepalives()
+            for callback in list(self._established_callbacks):
+                callback(self)
+        if self._state is BgpSessionState.ESTABLISHED:
+            self._restart_hold_timer()
+
+    def _handle_update(self, update: UpdateMessage) -> None:
+        if self._state is not BgpSessionState.ESTABLISHED:
+            return
+        self.updates_received += 1
+        self._restart_hold_timer()
+        for callback in list(self._update_callbacks):
+            callback(self, update)
+
+    def _start_keepalives(self) -> None:
+        interval = max(self.negotiated_hold_time / 3.0, 1e-3)
+        self._keepalive_process = PeriodicProcess(
+            self._sim,
+            interval,
+            lambda: self._send(KeepaliveMessage()),
+            name=f"bgp-keepalive:{self.peer_ip}",
+        )
+        self._keepalive_process.start(initial_delay=interval)
+
+    def _restart_hold_timer(self) -> None:
+        if self._hold_timer is not None:
+            self._hold_timer.cancel()
+        if self.negotiated_hold_time <= 0:
+            self._hold_timer = None
+            return
+        self._hold_timer = self._sim.schedule(
+            self.negotiated_hold_time,
+            lambda: self._tear_down("hold timer expired"),
+            name=f"bgp-hold:{self.peer_ip}",
+        )
+
+    def _tear_down(self, reason: str) -> None:
+        was_established = self._state is BgpSessionState.ESTABLISHED
+        self._state = BgpSessionState.IDLE
+        if self._hold_timer is not None:
+            self._hold_timer.cancel()
+            self._hold_timer = None
+        if self._keepalive_process is not None:
+            self._keepalive_process.stop()
+            self._keepalive_process = None
+        if was_established:
+            for callback in list(self._down_callbacks):
+                callback(self, reason)
+
+    def __repr__(self) -> str:
+        return f"BgpSession(peer={self.peer_ip}, state={self._state.value})"

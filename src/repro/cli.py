@@ -1,0 +1,145 @@
+"""Command-line interface.
+
+Exposes the main experiments without writing any Python::
+
+    python -m repro.cli failover --prefixes 1000 --supercharged
+    python -m repro.cli figure5 --repetitions 3 --flows 100
+    python -m repro.cli microbench --updates 50000
+    python -m repro.cli groups --peers 2 3 5 10
+    python -m repro.cli ablations
+
+Every sub-command prints a plain-text report to stdout and exits non-zero
+on obviously broken results (so the CLI doubles as a smoke test).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.experiments.ablations import compare_fib_designs
+from repro.experiments.backup_group_analysis import backup_group_counts
+from repro.experiments.controller_bench import ControllerMicrobench
+from repro.experiments.figure5 import Figure5Experiment, active_prefix_counts
+from repro.experiments.stats import BoxStats, format_table
+from repro.sim.engine import Simulator
+from repro.topology.lab import ConvergenceLab, LabConfig
+
+
+def _cmd_failover(arguments: argparse.Namespace) -> int:
+    sim = Simulator(seed=arguments.seed)
+    lab = ConvergenceLab(
+        sim,
+        LabConfig(
+            num_prefixes=arguments.prefixes,
+            supercharged=arguments.supercharged,
+            monitored_flows=arguments.flows,
+            seed=arguments.seed,
+        ),
+    ).build()
+    lab.start()
+    lab.load_feeds()
+    lab.wait_converged()
+    lab.setup_monitoring()
+    result = lab.run_single_failover()
+    stats = BoxStats.from_samples(result.samples)
+    mode = "supercharged" if arguments.supercharged else "standalone"
+    print(f"{mode} router, {arguments.prefixes} prefixes, {arguments.flows} flows")
+    if result.detection_time is not None:
+        print(f"  failure detection : {result.detection_time * 1e3:8.1f} ms")
+    print(f"  median convergence: {stats.median * 1e3:8.1f} ms")
+    print(f"  p95 convergence   : {stats.p95 * 1e3:8.1f} ms")
+    print(f"  max convergence   : {stats.maximum * 1e3:8.1f} ms")
+    return 0 if stats.maximum < 3600 else 1
+
+
+def _cmd_figure5(arguments: argparse.Namespace) -> int:
+    counts = arguments.prefixes or list(active_prefix_counts())
+    experiment = Figure5Experiment(
+        prefix_counts=counts,
+        repetitions=arguments.repetitions,
+        monitored_flows=arguments.flows,
+        seed=arguments.seed,
+    )
+    experiment.run()
+    print(experiment.report())
+    return 0
+
+
+def _cmd_microbench(arguments: argparse.Namespace) -> int:
+    bench = ControllerMicrobench(updates_per_peer=arguments.updates, seed=arguments.seed)
+    result = bench.run()
+    print(bench.report(result))
+    return 0 if result.updates_processed == 2 * arguments.updates else 1
+
+
+def _cmd_groups(arguments: argparse.Namespace) -> int:
+    results = backup_group_counts(
+        peer_counts=tuple(arguments.peers), num_prefixes=arguments.prefixes
+    )
+    rows = [
+        [str(r.num_peers), str(r.observed_groups), str(r.theoretical_bound)]
+        for r in results
+    ]
+    print(format_table(["peers", "observed groups", "n*(n-1) bound"], rows))
+    return 0 if all(r.within_bound for r in results) else 1
+
+
+def _cmd_ablations(arguments: argparse.Namespace) -> int:
+    points = compare_fib_designs(
+        num_prefixes=arguments.prefixes, monitored_flows=arguments.flows
+    )
+    rows = [
+        [point.label, f"{point.max_convergence * 1e3:.1f}", f"{point.median_convergence * 1e3:.1f}"]
+        for point in points
+    ]
+    print(format_table(["FIB organisation", "max conv (ms)", "median conv (ms)"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Supercharged-router reproduction experiments"
+    )
+    parser.add_argument("--seed", type=int, default=1, help="simulation seed")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    failover = commands.add_parser("failover", help="run one failover experiment")
+    failover.add_argument("--prefixes", type=int, default=1_000)
+    failover.add_argument("--flows", type=int, default=50)
+    failover.add_argument("--supercharged", action="store_true")
+    failover.set_defaults(handler=_cmd_failover)
+
+    figure5 = commands.add_parser("figure5", help="regenerate Figure 5")
+    figure5.add_argument("--prefixes", type=int, nargs="*", default=None)
+    figure5.add_argument("--repetitions", type=int, default=3)
+    figure5.add_argument("--flows", type=int, default=100)
+    figure5.set_defaults(handler=_cmd_figure5)
+
+    microbench = commands.add_parser("microbench", help="controller processing benchmark")
+    microbench.add_argument("--updates", type=int, default=50_000)
+    microbench.set_defaults(handler=_cmd_microbench)
+
+    groups = commands.add_parser("groups", help="backup-group count analysis")
+    groups.add_argument("--peers", type=int, nargs="+", default=[2, 3, 5, 10])
+    groups.add_argument("--prefixes", type=int, default=2_000)
+    groups.set_defaults(handler=_cmd_groups)
+
+    ablations = commands.add_parser("ablations", help="compare FIB organisations")
+    ablations.add_argument("--prefixes", type=int, default=2_000)
+    ablations.add_argument("--flows", type=int, default=20)
+    ablations.set_defaults(handler=_cmd_ablations)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    return arguments.handler(arguments)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,84 @@
+"""ARP responder for virtual next hops.
+
+The paper extended Floodlight with an ARP resolver: when the supercharged
+router ARPs for a VNH it received in a BGP announcement, the controller
+answers with the backup group's VMAC.  The responder supports two modes:
+
+* direct mode — the controller owns a port on the shared subnet and sees
+  broadcast ARP requests flooded by the switch; replies are sent from that
+  port;
+* packet-in mode — ARP requests are punted to the controller over the
+  OpenFlow channel and the reply is injected with a packet-out.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.arp.protocol import build_arp_reply
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.packets import ArpOp, ArpPacket, EthernetFrame
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.messages import PacketIn, PacketOut
+
+
+class VirtualArpResponder:
+    """Answers ARP requests for registered VNH → VMAC bindings."""
+
+    def __init__(self) -> None:
+        self._bindings: Dict[IPv4Address, MacAddress] = {}
+        self.requests_answered = 0
+
+    # ------------------------------------------------------------------
+    # Bindings
+    # ------------------------------------------------------------------
+    def register(self, vnh: IPv4Address, vmac: MacAddress) -> None:
+        """Start answering for ``vnh`` with ``vmac``."""
+        self._bindings[vnh] = vmac
+
+    def unregister(self, vnh: IPv4Address) -> bool:
+        """Stop answering for ``vnh``."""
+        return self._bindings.pop(vnh, None) is not None
+
+    def bindings(self) -> Dict[IPv4Address, MacAddress]:
+        """All registered bindings."""
+        return dict(self._bindings)
+
+    def resolves(self, vnh: IPv4Address) -> bool:
+        """Whether the responder owns ``vnh``."""
+        return vnh in self._bindings
+
+    # ------------------------------------------------------------------
+    # Direct mode
+    # ------------------------------------------------------------------
+    def reply_for(self, packet: ArpPacket) -> Optional[EthernetFrame]:
+        """Build the reply frame for an ARP request, if we own the target."""
+        if packet.op is not ArpOp.REQUEST:
+            return None
+        vmac = self._bindings.get(packet.target_ip)
+        if vmac is None:
+            return None
+        self.requests_answered += 1
+        return build_arp_reply(
+            sender_mac=vmac,
+            sender_ip=packet.target_ip,
+            target_mac=packet.sender_mac,
+            target_ip=packet.sender_ip,
+        )
+
+    # ------------------------------------------------------------------
+    # Packet-in mode
+    # ------------------------------------------------------------------
+    def handle_packet_in(
+        self, packet_in: PacketIn, channel: ControllerChannel
+    ) -> bool:
+        """Answer an ARP request punted by the switch; returns whether a
+        packet-out reply was emitted."""
+        payload = packet_in.frame.payload
+        if not isinstance(payload, ArpPacket):
+            return False
+        reply = self.reply_for(payload)
+        if reply is None:
+            return False
+        channel.send_packet_out(PacketOut(frame=reply, out_port=packet_in.in_port))
+        return True

@@ -1,0 +1,395 @@
+"""The supercharged controller node.
+
+A :class:`SuperchargedController` is a host attached to the SDN switch
+that plays three roles simultaneously:
+
+* **BGP controller** (ExaBGP in the paper): it terminates the BGP sessions
+  of the supercharged router's peers, runs the full decision process,
+  computes backup groups, and relays every route to the router with the
+  next hop rewritten to the group's virtual next hop.
+* **SDN controller** (Floodlight): it provisions the switch rule of every
+  backup group through a REST-style static flow pusher, answers the
+  router's ARP queries for virtual next hops, and rewrites the rules on
+  failure (Listing 2).
+* **Failure detector** (FreeBFD): it runs BFD towards every peer and
+  triggers data-plane convergence the instant a peer is declared down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.arp.cache import ArpCache
+from repro.arp.protocol import ArpHandler
+from repro.router.arp_client import ArpClient
+from repro.bfd.manager import BfdManager
+from repro.bgp.messages import BgpMessage, UpdateMessage
+from repro.bgp.policy import ImportPolicy
+from repro.bgp.rib import RibChange
+from repro.bgp.speaker import BgpSpeaker, PeerConfig
+from repro.core.arp_responder import VirtualArpResponder
+from repro.core.backup_groups import ActionKind, BackupGroupManager, ProvisioningAction
+from repro.core.convergence import ConvergenceEvent, DataPlaneConvergence
+from repro.core.flow_provisioner import FlowProvisioner, NextHopLocation
+from repro.core.rest_api import FloodlightRestApi
+from repro.core.vnh_allocator import VnhAllocator
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.interfaces import Interface
+from repro.net.links import Port
+from repro.net.packets import (
+    BfdControl,
+    BgpTransport,
+    EtherType,
+    EthernetFrame,
+    IpProtocol,
+    IPv4Packet,
+)
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.messages import PacketIn
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class PeerSpec:
+    """One upstream peer of the supercharged router, as the controller sees it."""
+
+    ip: IPv4Address
+    asn: int
+    switch_port: int
+    mac: Optional[MacAddress] = None
+    #: Import preference (higher wins); the paper prefers the cheap provider.
+    local_pref: int = 100
+
+
+@dataclass
+class ControllerConfig:
+    """Configuration of a supercharged controller instance."""
+
+    ip: IPv4Address
+    mac: MacAddress
+    subnet: IPv4Prefix
+    asn: int
+    router_id: IPv4Address
+    #: The supercharged router's address and ASN.
+    router_ip: IPv4Address = IPv4Address("10.0.0.1")
+    router_asn: int = 65000
+    #: Pool virtual next hops are allocated from (inside ``subnet``).
+    vnh_pool: IPv4Prefix = IPv4Prefix("10.0.0.128/25")
+    peers: List[PeerSpec] = field(default_factory=list)
+    #: BFD timing towards the peers.
+    bfd_interval: float = 0.03
+    bfd_multiplier: int = 3
+    #: Latency of one REST call to the SDN controller platform.
+    rest_latency: float = 2e-3
+    #: Size of the backup groups (2 protects against any single failure).
+    backup_group_size: int = 2
+    bgp_hold_time: float = 90.0
+
+
+class SuperchargedController:
+    """The complete supercharged controller (ExaBGP + Floodlight + BFD roles)."""
+
+    def __init__(self, sim: Simulator, name: str, config: ControllerConfig) -> None:
+        self._sim = sim
+        self.name = name
+        self.config = config
+        port = Port(name, 0)
+        port.set_frame_handler(self._handle_frame)
+        self.interface = Interface(
+            name="eth0", port=port, mac=config.mac, ip=config.ip, subnet=config.subnet
+        )
+        self.arp_cache = ArpCache()
+        self._arp_handler = ArpHandler(
+            self.arp_cache, now=lambda: sim.now, owned={config.ip: config.mac}
+        )
+        self.arp_client = ArpClient(sim, self.arp_cache)
+        self.arp_responder = VirtualArpResponder()
+        reserved = {config.ip, config.router_ip} | {peer.ip for peer in config.peers}
+        self.allocator = VnhAllocator(config.vnh_pool, reserved=reserved)
+        self.backup_groups = BackupGroupManager(
+            self.allocator, group_size=config.backup_group_size
+        )
+        self.bgp = BgpSpeaker(
+            sim,
+            asn=config.asn,
+            router_id=config.router_id,
+            transport=self._send_bgp,
+        )
+        self.bgp.auto_advertise = False
+        self.bgp.on_rib_change(self._handle_rib_change)
+        self.bgp.on_peer_down(self._handle_bgp_peer_down)
+        self.bfd = BfdManager(
+            sim,
+            send=self._send_bfd,
+            tx_interval=config.bfd_interval,
+            detect_multiplier=config.bfd_multiplier,
+        )
+        self.bfd.on_peer_down(self._handle_bfd_peer_down)
+        self.bfd.on_peer_up(self._handle_bfd_peer_up)
+        self._peer_specs: Dict[IPv4Address, PeerSpec] = {p.ip: p for p in config.peers}
+        self._channel: Optional[ControllerChannel] = None
+        self.rest_api: Optional[FloodlightRestApi] = None
+        self.provisioner: Optional[FlowProvisioner] = None
+        self.convergence: Optional[DataPlaneConvergence] = None
+        self._failure_listeners: List[Callable[[IPv4Address, ConvergenceEvent], None]] = []
+        #: Wall-clock processing time of each BGP update, for the paper's
+        #: controller micro-benchmark (populated only when enabled).
+        self.update_processing_times: List[float] = []
+        self.measure_processing_time = False
+        self.updates_relayed = 0
+        self.withdraws_relayed = 0
+        self._started = False
+        self._crashed = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> Port:
+        """The controller's data-plane port (for wiring to the switch)."""
+        return self.interface.port
+
+    def attach_switch(self, channel: ControllerChannel) -> None:
+        """Connect the OpenFlow channel towards the supercharging switch."""
+        self._channel = channel
+        channel.connect_controller(self._handle_switch_message)
+        self.rest_api = FloodlightRestApi(
+            self._sim, channel, call_latency=self.config.rest_latency
+        )
+        self.provisioner = FlowProvisioner(self.rest_api, self._locate_next_hop)
+        self.convergence = DataPlaneConvergence(self.backup_groups, self.provisioner)
+
+    def on_failure_handled(
+        self, callback: Callable[[IPv4Address, ConvergenceEvent], None]
+    ) -> None:
+        """Register a callback fired after Listing 2 ran for a failed peer."""
+        self._failure_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Configure BGP/BFD sessions and bring the control plane up."""
+        if self._started:
+            return
+        if self.convergence is None:
+            raise RuntimeError(f"{self.name}: attach_switch() must be called before start()")
+        self._started = True
+        for peer in self.config.peers:
+            self.bgp.add_peer(
+                PeerConfig(
+                    peer_ip=peer.ip,
+                    peer_asn=peer.asn,
+                    import_policy=ImportPolicy.prefer(peer.local_pref),
+                    hold_time=self.config.bgp_hold_time,
+                )
+            )
+            self.bfd.add_peer(peer.ip)
+        self.bgp.add_peer(
+            PeerConfig(
+                peer_ip=self.config.router_ip,
+                peer_asn=self.config.router_asn,
+                hold_time=self.config.bgp_hold_time,
+            )
+        )
+        self.bgp.start()
+
+    def restart_peer(self, peer_ip: IPv4Address) -> None:
+        """Re-open the BGP session towards a peer (after it was restored)."""
+        self.bgp.start_peer(peer_ip)
+
+    def shutdown(self) -> None:
+        """Crash the controller: it stops reacting to any input and its BGP
+        and BFD sessions go silent (peers will notice via their own timers).
+        Used by the reliability experiments."""
+        if self._crashed:
+            return
+        self._crashed = True
+        for peer_ip in list(self.bgp.peers()):
+            self.bgp.peer_session(peer_ip).stop("controller crashed")
+        for peer_ip in list(self.bfd.peers()):
+            self.bfd.remove_peer(peer_ip)
+
+    @property
+    def is_crashed(self) -> bool:
+        """Whether :meth:`shutdown` has been called."""
+        return self._crashed
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def group_count(self) -> int:
+        """Number of live backup groups."""
+        return len(self.backup_groups.groups())
+
+    def vnh_bindings(self) -> Dict[IPv4Address, MacAddress]:
+        """All VNH → VMAC bindings currently answered for."""
+        return self.arp_responder.bindings()
+
+    # ------------------------------------------------------------------
+    # BGP plumbing
+    # ------------------------------------------------------------------
+    def _send_bgp(self, peer_ip: IPv4Address, message: BgpMessage) -> None:
+        transport = BgpTransport(src_ip=self.config.ip, dst_ip=peer_ip, message=message)
+        self._send_unicast(peer_ip, EtherType.BGP_TRANSPORT, transport)
+
+    def _send_bfd(self, peer_ip: IPv4Address, packet: BfdControl) -> None:
+        ip_packet = IPv4Packet(
+            src=self.config.ip, dst=peer_ip, protocol=IpProtocol.BFD, payload=packet
+        )
+        self._send_unicast(peer_ip, EtherType.IPV4, ip_packet)
+
+    def _send_unicast(self, peer_ip: IPv4Address, ethertype: EtherType, payload) -> None:
+        mac = self.arp_cache.lookup(peer_ip, self._sim.now)
+        if mac is None:
+            spec = self._peer_specs.get(peer_ip)
+            mac = spec.mac if spec is not None else None
+        if mac is not None:
+            self._transmit(mac, ethertype, payload)
+            return
+        # Queue the message behind an ARP resolution (like a real host's
+        # neighbour queue); unresolvable destinations drop it.
+        self.arp_client.resolve(
+            peer_ip,
+            self.interface,
+            lambda resolved: self._transmit(resolved, ethertype, payload)
+            if resolved is not None
+            else None,
+        )
+
+    def _transmit(self, mac: MacAddress, ethertype: EtherType, payload) -> None:
+        frame = EthernetFrame(
+            src_mac=self.config.mac,
+            dst_mac=mac,
+            ethertype=ethertype,
+            payload=payload,
+        )
+        if self.interface.is_up:
+            self.interface.port.send(frame)
+
+    # ------------------------------------------------------------------
+    # RIB change -> provisioning (Listing 1 driver)
+    # ------------------------------------------------------------------
+    def _handle_rib_change(self, change: RibChange, from_peer: IPv4Address) -> None:
+        if self._crashed:
+            return
+        if from_peer == self.config.router_ip:
+            # Routes learned from the supercharged router itself are not
+            # re-provisioned back to it.
+            return
+        started = self._sim_perf_counter() if self.measure_processing_time else None
+        actions = self.backup_groups.process_change(change)
+        self._apply_actions(actions)
+        if started is not None:
+            self.update_processing_times.append(self._sim_perf_counter() - started)
+
+    def _apply_actions(self, actions: List[ProvisioningAction]) -> None:
+        for action in actions:
+            if action.kind is ActionKind.GROUP_CREATED:
+                group = action.group
+                self.arp_responder.register(group.vnh, group.vmac)
+                if self.provisioner is not None:
+                    self.provisioner.provision_group(group)
+            elif action.kind is ActionKind.ANNOUNCE_VIRTUAL:
+                self._announce_to_router(action.prefix, action.next_hop)
+            elif action.kind is ActionKind.ANNOUNCE_REAL:
+                self._announce_to_router(action.prefix, action.next_hop)
+            elif action.kind is ActionKind.WITHDRAW:
+                self.bgp.withdraw_route(self.config.router_ip, action.prefix)
+                self.withdraws_relayed += 1
+            elif action.kind is ActionKind.GROUP_RETIRED:
+                self.arp_responder.unregister(action.group.vnh)
+                if self.provisioner is not None:
+                    self.provisioner.retire_group(action.group)
+
+    def _announce_to_router(self, prefix: IPv4Prefix, next_hop: IPv4Address) -> None:
+        best = self.bgp.loc_rib.best(prefix)
+        if best is None:
+            return
+        attributes = best.attributes.with_next_hop(next_hop)
+        if self.bgp.advertise_route(self.config.router_ip, prefix, attributes):
+            self.updates_relayed += 1
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _handle_bfd_peer_down(self, peer_ip: IPv4Address, reason: str) -> None:
+        if self._crashed:
+            return
+        # Data plane first (Listing 2), control plane second: this ordering
+        # is the entire point of the paper.
+        event = None
+        if self.convergence is not None:
+            event = self.convergence.peer_down(peer_ip, now=self._sim.now)
+        if peer_ip in self.bgp.peers():
+            self.bgp.peer_connection_lost(peer_ip, f"BFD: {reason}")
+        if event is not None:
+            for callback in list(self._failure_listeners):
+                callback(peer_ip, event)
+
+    def _handle_bfd_peer_up(self, peer_ip: IPv4Address) -> None:
+        if self._crashed:
+            return
+        # Point the groups whose primary is this peer back at it: the peer is
+        # reachable again and remains the operator's preferred exit.  The
+        # control plane catches up separately when its BGP session reopens.
+        if self.convergence is not None:
+            self.convergence.peer_restored(peer_ip, now=self._sim.now)
+
+    def _handle_bgp_peer_down(self, peer_ip: IPv4Address, reason: str) -> None:
+        return
+
+    # ------------------------------------------------------------------
+    # Switch / data-plane frame handling
+    # ------------------------------------------------------------------
+    def _handle_switch_message(self, message: object) -> None:
+        if self._crashed:
+            return
+        if isinstance(message, PacketIn) and self._channel is not None:
+            self.arp_responder.handle_packet_in(message, self._channel)
+
+    def _handle_frame(self, frame: EthernetFrame, port: Port) -> None:
+        if self._crashed:
+            return
+        if frame.ethertype is EtherType.ARP:
+            packet = frame.payload
+            self.arp_client.handle_reply(packet)
+            reply = self._arp_handler.handle(packet)
+            if reply is None:
+                reply = self.arp_responder.reply_for(packet)
+            if reply is not None and self.interface.is_up:
+                port.send(reply)
+            return
+        if frame.dst_mac != self.config.mac and not frame.dst_mac.is_broadcast:
+            return
+        if frame.ethertype is EtherType.BGP_TRANSPORT:
+            transport: BgpTransport = frame.payload
+            if transport.dst_ip == self.config.ip:
+                self.bgp.deliver(transport.src_ip, transport.message)
+            return
+        if frame.ethertype is EtherType.IPV4:
+            packet: IPv4Packet = frame.payload
+            if packet.dst == self.config.ip and packet.protocol is IpProtocol.BFD:
+                self.bfd.receive(packet.src, packet.payload)
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _locate_next_hop(self, next_hop: IPv4Address) -> Optional[NextHopLocation]:
+        spec = self._peer_specs.get(next_hop)
+        if spec is None:
+            return None
+        mac = self.arp_cache.lookup(next_hop, self._sim.now) or spec.mac
+        if mac is None:
+            return None
+        return NextHopLocation(mac=mac, switch_port=spec.switch_port)
+
+    @staticmethod
+    def _sim_perf_counter() -> float:
+        import time
+
+        return time.perf_counter()
+
+    def __repr__(self) -> str:
+        return f"SuperchargedController({self.name}, groups={self.group_count()})"

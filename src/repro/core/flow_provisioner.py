@@ -1,0 +1,94 @@
+"""Switch-side provisioning of backup-group rules.
+
+For every backup group the provisioner maintains one rule on the SDN
+switch:
+
+    match(eth_dst = group VMAC) →
+        set_field(eth_dst = <active next hop's real MAC>), output(<port>)
+
+By default the active next hop is the group's primary; the data-plane
+convergence procedure (Listing 2) flips it to the backup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from repro.core.backup_groups import BackupGroup
+from repro.core.rest_api import FloodlightRestApi, StaticFlowEntry
+from repro.net.addresses import IPv4Address, MacAddress
+
+
+@dataclass(frozen=True)
+class NextHopLocation:
+    """Where a (real) next hop lives: its MAC and the switch port behind it."""
+
+    mac: MacAddress
+    switch_port: int
+
+
+class FlowProvisioner:
+    """Keeps the switch's VMAC rewrite rules in sync with the backup groups."""
+
+    def __init__(
+        self,
+        rest_api: FloodlightRestApi,
+        locate: Callable[[IPv4Address], Optional[NextHopLocation]],
+        priority: int = 200,
+    ) -> None:
+        """``locate`` resolves a peer IP to its :class:`NextHopLocation`."""
+        self._rest = rest_api
+        self._locate = locate
+        self.priority = priority
+        #: Group VMAC -> next hop currently programmed for that group.
+        self._active_next_hop: Dict[MacAddress, IPv4Address] = {}
+        self.rules_pushed = 0
+
+    # ------------------------------------------------------------------
+    # Provisioning
+    # ------------------------------------------------------------------
+    def provision_group(self, group: BackupGroup) -> bool:
+        """Install (or refresh) the rule for ``group`` pointing at its primary."""
+        return self._point_group(group, group.primary)
+
+    def redirect_group(self, group: BackupGroup, next_hop: IPv4Address) -> bool:
+        """Point ``group`` at an arbitrary next hop (Listing 2 uses the backup)."""
+        return self._point_group(group, next_hop)
+
+    def retire_group(self, group: BackupGroup) -> bool:
+        """Remove the rule of a retired group."""
+        self._active_next_hop.pop(group.vmac, None)
+        return self._rest.delete(self._rule_name(group))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def active_next_hop(self, group: BackupGroup) -> Optional[IPv4Address]:
+        """The next hop the switch currently rewrites this group's VMAC to."""
+        return self._active_next_hop.get(group.vmac)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _point_group(self, group: BackupGroup, next_hop: IPv4Address) -> bool:
+        location = self._locate(next_hop)
+        if location is None:
+            return False
+        if self._active_next_hop.get(group.vmac) == next_hop:
+            return True  # already programmed; avoid useless REST calls
+        entry = StaticFlowEntry(
+            name=self._rule_name(group),
+            eth_dst=group.vmac,
+            set_eth_dst=location.mac,
+            output_port=location.switch_port,
+            priority=self.priority,
+        )
+        self._rest.push(entry)
+        self._active_next_hop[group.vmac] = next_hop
+        self.rules_pushed += 1
+        return True
+
+    @staticmethod
+    def _rule_name(group: BackupGroup) -> str:
+        return f"backup-group-{group.vmac}"

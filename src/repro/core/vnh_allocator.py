@@ -1,0 +1,105 @@
+"""Virtual next hop / virtual MAC allocation.
+
+Each backup group gets a (VNH, VMAC) pair: the VNH is an unused address in
+the subnet shared by the supercharged router and the SDN switch (so the
+router can ARP for it), the VMAC is a locally administered MAC derived
+deterministically from the allocation index.
+
+Determinism matters: the paper's reliability argument is that redundant
+controller replicas need no state synchronisation because they run the
+same deterministic algorithm over the same inputs — which requires that
+the *k*-th allocated group gets the same (VNH, VMAC) on every replica.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+
+
+class VnhAllocationError(RuntimeError):
+    """Raised when the VNH pool is exhausted."""
+
+
+#: Default base for virtual MACs: locally administered, unicast.
+DEFAULT_VMAC_BASE = 0x02_00_5E_00_00_00
+
+
+class VnhAllocator:
+    """Allocates (VNH, VMAC) pairs from a pool prefix.
+
+    Parameters
+    ----------
+    pool:
+        Prefix the VNHs are taken from.  Must lie inside the subnet the
+        supercharged router shares with the switch.
+    reserved:
+        Addresses never to hand out (the router's and peers' own IPs).
+    vmac_base:
+        Integer base of the virtual MAC range.
+    """
+
+    def __init__(
+        self,
+        pool: IPv4Prefix,
+        reserved: Optional[Set[IPv4Address]] = None,
+        vmac_base: int = DEFAULT_VMAC_BASE,
+    ) -> None:
+        self.pool = pool
+        self._reserved = set(reserved or set())
+        self._vmac_base = vmac_base
+        self._allocated: Dict[IPv4Address, MacAddress] = {}
+        self._released: List[Tuple[IPv4Address, MacAddress]] = []
+        self._cursor = 0
+
+    @property
+    def allocated_count(self) -> int:
+        """Number of currently allocated pairs."""
+        return len(self._allocated)
+
+    def allocate(self) -> Tuple[IPv4Address, MacAddress]:
+        """Allocate the next (VNH, VMAC) pair.
+
+        Released pairs are reused first (still deterministic since release
+        order is part of the input stream); otherwise the next free address
+        of the pool is used.
+        """
+        if self._released:
+            vnh, vmac = self._released.pop(0)
+            self._allocated[vnh] = vmac
+            return vnh, vmac
+        pool_size = self.pool.num_addresses
+        while self._cursor < pool_size:
+            candidate = IPv4Address(self.pool.network.value + self._cursor)
+            self._cursor += 1
+            if candidate in self._reserved:
+                continue
+            if candidate == self.pool.network or candidate == self.pool.last_address:
+                continue  # skip network/broadcast addresses
+            vmac = MacAddress(self._vmac_base + len(self._allocated) + 1)
+            self._allocated[candidate] = vmac
+            return candidate, vmac
+        raise VnhAllocationError(
+            f"VNH pool {self.pool} exhausted after {len(self._allocated)} allocations"
+        )
+
+    def release(self, vnh: IPv4Address) -> bool:
+        """Return a pair to the allocator; returns whether it was allocated."""
+        vmac = self._allocated.pop(vnh, None)
+        if vmac is None:
+            return False
+        self._released.append((vnh, vmac))
+        return True
+
+    def vmac_of(self, vnh: IPv4Address) -> Optional[MacAddress]:
+        """The VMAC currently bound to ``vnh``, if allocated."""
+        return self._allocated.get(vnh)
+
+    def allocations(self) -> Dict[IPv4Address, MacAddress]:
+        """All current allocations."""
+        return dict(self._allocated)
+
+    def is_virtual_mac(self, mac: MacAddress) -> bool:
+        """Whether ``mac`` belongs to the virtual MAC range of this allocator."""
+        return mac in self._allocated.values()

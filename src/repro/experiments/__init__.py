@@ -1,0 +1,49 @@
+"""Experiment harnesses reproducing the paper's evaluation.
+
+* :mod:`repro.experiments.figure5` — the convergence-vs-prefix-count sweep
+  behind Figure 5 (and the worst-case/best-case numbers quoted in §4).
+* :mod:`repro.experiments.controller_bench` — the controller
+  update-processing micro-benchmark (2 × 500 k updates, p99 < 125 ms).
+* :mod:`repro.experiments.backup_group_analysis` — the n·(n−1) backup-group
+  count analysis from §2.
+* :mod:`repro.experiments.ablations` — sensitivity studies called out in
+  DESIGN.md (BFD interval, flow-mod latency, FIB organisation).
+* :mod:`repro.experiments.stats` — box-plot statistics shared by all of the
+  above.
+"""
+
+from repro.experiments.stats import BoxStats
+from repro.experiments.figure5 import (
+    DEFAULT_PREFIX_COUNTS,
+    FULL_SCALE_PREFIX_COUNTS,
+    Figure5Experiment,
+    Figure5Row,
+    run_figure5,
+)
+from repro.experiments.controller_bench import (
+    ControllerMicrobench,
+    MicrobenchResult,
+)
+from repro.experiments.backup_group_analysis import backup_group_counts
+from repro.experiments.ablations import (
+    AblationPoint,
+    compare_fib_designs,
+    sweep_bfd_interval,
+    sweep_flow_mod_latency,
+)
+
+__all__ = [
+    "BoxStats",
+    "DEFAULT_PREFIX_COUNTS",
+    "FULL_SCALE_PREFIX_COUNTS",
+    "Figure5Experiment",
+    "Figure5Row",
+    "run_figure5",
+    "ControllerMicrobench",
+    "MicrobenchResult",
+    "backup_group_counts",
+    "AblationPoint",
+    "compare_fib_designs",
+    "sweep_bfd_interval",
+    "sweep_flow_mod_latency",
+]

@@ -1,0 +1,32 @@
+"""Other router aspects that can be "supercharged" (paper §1).
+
+Besides convergence, the paper sketches two further uses of the 2-stage
+forwarding table:
+
+* **FIB caching** (:mod:`repro.extensions.fib_cache`) — keep only
+  aggregated covering prefixes in the router and resolve the popular
+  specifics in the switch, ViAggre-style, extending the effective FIB size
+  of an old router.
+* **Load balancing** (:mod:`repro.extensions.load_balancing`) — overwrite
+  the router's poor static-hash ECMP decisions by re-splitting the tagged
+  traffic across next hops in the switch.
+
+Both are implemented against the same substrates as the main contribution
+so their benefit can be quantified with the included benchmarks.
+"""
+
+from repro.extensions.fib_cache import CacheDecision, FibCacheSupercharger, FibCacheStats
+from repro.extensions.load_balancing import (
+    HashEcmpRouter,
+    LoadBalancingSupercharger,
+    LoadReport,
+)
+
+__all__ = [
+    "CacheDecision",
+    "FibCacheSupercharger",
+    "FibCacheStats",
+    "HashEcmpRouter",
+    "LoadBalancingSupercharger",
+    "LoadReport",
+]

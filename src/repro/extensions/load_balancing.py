@@ -1,0 +1,147 @@
+"""Load-balancing supercharging (paper §1).
+
+Routers split ECMP traffic with a static, stateless hash of the flow
+5-tuple; when the hash is a poor fit for the offered traffic the split is
+uneven.  The SDN switch sitting next to the router can observe the actual
+per-flow rates and re-balance: it overrides the router's hash decision for
+the heaviest flows by rewriting their next hop as they traverse the
+switch.
+
+:class:`HashEcmpRouter` models the router's static-hash behaviour, and
+:class:`LoadBalancingSupercharger` computes the minimal set of flow
+overrides that brings the per-next-hop load within a target imbalance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.addresses import IPv4Address
+
+
+@dataclass(frozen=True)
+class Flow:
+    """A 5-tuple flow with an offered rate."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    src_port: int
+    dst_port: int
+    rate: float
+
+    @property
+    def key(self) -> Tuple[int, int, int, int]:
+        """Hashable flow identity."""
+        return (self.src.value, self.dst.value, self.src_port, self.dst_port)
+
+
+@dataclass
+class LoadReport:
+    """Per-next-hop load before/after supercharging."""
+
+    next_hops: List[IPv4Address]
+    load_before: Dict[IPv4Address, float]
+    load_after: Dict[IPv4Address, float]
+    overrides: Dict[Tuple[int, int, int, int], IPv4Address] = field(default_factory=dict)
+
+    @staticmethod
+    def imbalance(load: Dict[IPv4Address, float]) -> float:
+        """Max/mean load ratio (1.0 = perfectly balanced)."""
+        values = list(load.values())
+        if not values or sum(values) == 0:
+            return 1.0
+        mean = sum(values) / len(values)
+        return max(values) / mean if mean > 0 else 1.0
+
+    @property
+    def imbalance_before(self) -> float:
+        """Imbalance produced by the router's static hash."""
+        return self.imbalance(self.load_before)
+
+    @property
+    def imbalance_after(self) -> float:
+        """Imbalance after the switch overrides."""
+        return self.imbalance(self.load_after)
+
+
+class HashEcmpRouter:
+    """Static-hash ECMP: each flow is pinned to ``hash(flow) % n`` next hops."""
+
+    def __init__(self, next_hops: Sequence[IPv4Address], salt: int = 0) -> None:
+        if not next_hops:
+            raise ValueError("at least one next hop is required")
+        self.next_hops = list(next_hops)
+        self.salt = salt
+
+    def pick(self, flow: Flow) -> IPv4Address:
+        """The next hop the router's hardware hash selects for ``flow``."""
+        digest = self._hash(flow)
+        return self.next_hops[digest % len(self.next_hops)]
+
+    def load(self, flows: Sequence[Flow]) -> Dict[IPv4Address, float]:
+        """Aggregate offered load per next hop under the static hash."""
+        totals = {next_hop: 0.0 for next_hop in self.next_hops}
+        for flow in flows:
+            totals[self.pick(flow)] += flow.rate
+        return totals
+
+    def _hash(self, flow: Flow) -> int:
+        # A deliberately crude multiplicative hash: real line-card hashes are
+        # similarly static and can correlate badly with the traffic matrix.
+        value = self.salt
+        for part in flow.key:
+            value = (value * 1_000_003 + part) & 0xFFFFFFFF
+        return value
+
+
+class LoadBalancingSupercharger:
+    """Computes switch-side overrides that even out the ECMP load."""
+
+    def __init__(self, router: HashEcmpRouter, max_overrides: int = 64) -> None:
+        if max_overrides < 0:
+            raise ValueError(f"max_overrides must be non-negative, got {max_overrides}")
+        self.router = router
+        self.max_overrides = max_overrides
+
+    def rebalance(self, flows: Sequence[Flow]) -> LoadReport:
+        """Greedy re-balancing: repeatedly move the largest movable flow
+        from the most loaded next hop to the least loaded one."""
+        assignment: Dict[Tuple[int, int, int, int], IPv4Address] = {
+            flow.key: self.router.pick(flow) for flow in flows
+        }
+        load_before = self.router.load(flows)
+        load = dict(load_before)
+        overrides: Dict[Tuple[int, int, int, int], IPv4Address] = {}
+        flows_by_rate = sorted(flows, key=lambda flow: -flow.rate)
+        for _ in range(self.max_overrides):
+            if not load:
+                break
+            heaviest = max(load, key=lambda nh: load[nh])
+            lightest = min(load, key=lambda nh: load[nh])
+            if load[heaviest] - load[lightest] <= 1e-9:
+                break
+            gap = load[heaviest] - load[lightest]
+            candidate = None
+            for flow in flows_by_rate:
+                if assignment[flow.key] != heaviest or flow.key in overrides:
+                    continue
+                # Moving more than the gap would overshoot and oscillate.
+                if flow.rate <= gap:
+                    candidate = flow
+                    break
+            if candidate is None:
+                break
+            assignment[candidate.key] = lightest
+            overrides[candidate.key] = lightest
+            load[heaviest] -= candidate.rate
+            load[lightest] += candidate.rate
+        load_after = {next_hop: 0.0 for next_hop in self.router.next_hops}
+        for flow in flows:
+            load_after[assignment[flow.key]] += flow.rate
+        return LoadReport(
+            next_hops=list(self.router.next_hops),
+            load_before=load_before,
+            load_after=load_after,
+            overrides=overrides,
+        )

@@ -1,0 +1,46 @@
+"""Layer-3 interfaces.
+
+An :class:`Interface` binds a :class:`~repro.net.links.Port` to a MAC
+address and an IPv4 address/prefix, which is what routers, controllers and
+traffic boards configure on their ports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.links import Port
+
+
+class Interface:
+    """An IP interface: port + MAC + IPv4 address inside a connected subnet."""
+
+    def __init__(
+        self,
+        name: str,
+        port: Port,
+        mac: MacAddress,
+        ip: Optional[IPv4Address] = None,
+        subnet: Optional[IPv4Prefix] = None,
+    ) -> None:
+        if ip is not None and subnet is not None and not subnet.contains(ip):
+            raise ValueError(f"{ip} is not inside {subnet}")
+        self.name = name
+        self.port = port
+        self.mac = mac
+        self.ip = ip
+        self.subnet = subnet
+
+    @property
+    def is_up(self) -> bool:
+        """Whether the underlying port's link is up."""
+        return self.port.is_up
+
+    def covers(self, address: IPv4Address) -> bool:
+        """Whether ``address`` belongs to this interface's connected subnet."""
+        return self.subnet is not None and self.subnet.contains(address)
+
+    def __repr__(self) -> str:
+        ip_text = f"{self.ip}" if self.ip is not None else "unnumbered"
+        return f"Interface({self.name}, {self.mac}, {ip_text})"

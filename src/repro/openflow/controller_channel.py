@@ -1,0 +1,82 @@
+"""The control channel between a switch and its controller(s).
+
+The channel is an in-process message bus with a configurable one-way
+latency, standing in for the TCP/TLS OpenFlow channel.  A switch can be
+connected to several controllers (the paper's reliability story runs two
+redundant controller instances), in which case packet-ins and port-status
+notifications are fanned out to all of them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.openflow.messages import FlowMod, PacketIn, PacketOut, PortStatus
+from repro.sim.engine import Simulator
+
+
+class ControllerChannel:
+    """Bidirectional controller ↔ switch message channel."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.5e-3, name: str = "of-channel") -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._sim = sim
+        self.latency = latency
+        self.name = name
+        self._to_switch: List[Callable[[object], None]] = []
+        self._to_controller: List[Callable[[object], None]] = []
+        self.messages_to_switch = 0
+        self.messages_to_controller = 0
+
+    # ------------------------------------------------------------------
+    # Subscription
+    # ------------------------------------------------------------------
+    def connect_switch(self, handler: Callable[[object], None]) -> None:
+        """Register the switch-side handler for controller→switch messages."""
+        self._to_switch.append(handler)
+
+    def connect_controller(self, handler: Callable[[object], None]) -> None:
+        """Register a controller-side handler for switch→controller messages."""
+        self._to_controller.append(handler)
+
+    # ------------------------------------------------------------------
+    # Controller → switch
+    # ------------------------------------------------------------------
+    def send_flow_mod(self, flow_mod: FlowMod) -> None:
+        """Deliver a flow-mod to the switch after the channel latency."""
+        self._deliver_to_switch(flow_mod)
+
+    def send_packet_out(self, packet_out: PacketOut) -> None:
+        """Deliver a packet-out to the switch after the channel latency."""
+        self._deliver_to_switch(packet_out)
+
+    # ------------------------------------------------------------------
+    # Switch → controller
+    # ------------------------------------------------------------------
+    def send_packet_in(self, packet_in: PacketIn) -> None:
+        """Deliver a packet-in to every connected controller."""
+        self._deliver_to_controller(packet_in)
+
+    def send_port_status(self, port_status: PortStatus) -> None:
+        """Deliver a port-status notification to every connected controller."""
+        self._deliver_to_controller(port_status)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _deliver_to_switch(self, message: object) -> None:
+        self.messages_to_switch += 1
+        for handler in list(self._to_switch):
+            self._sim.schedule(
+                self.latency, lambda h=handler, m=message: h(m), name=f"{self.name}:to-switch"
+            )
+
+    def _deliver_to_controller(self, message: object) -> None:
+        self.messages_to_controller += 1
+        for handler in list(self._to_controller):
+            self._sim.schedule(
+                self.latency,
+                lambda h=handler, m=message: h(m),
+                name=f"{self.name}:to-controller",
+            )

@@ -1,0 +1,211 @@
+"""Flow table: matches, actions, entries, priority lookup.
+
+The match fields are the ones the supercharged controller needs
+(destination MAC, in-port, EtherType); wildcarding any field is done by
+leaving it ``None``.  Actions model OpenFlow ``set_field(eth_dst)``,
+``set_field(eth_src)``, ``output`` and ``CONTROLLER`` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import MacAddress
+from repro.net.packets import EtherType, EthernetFrame
+
+
+class FlowTableError(RuntimeError):
+    """Raised for invalid flow-table operations (overflow, bad entries)."""
+
+
+#: Pseudo port number meaning "send to the controller" (OFPP_CONTROLLER).
+CONTROLLER_PORT = 0xFFFFFFFD
+#: Pseudo port number meaning "flood on all ports except ingress" (OFPP_FLOOD).
+FLOOD_PORT = 0xFFFFFFFB
+
+
+@dataclass(frozen=True)
+class FlowMatch:
+    """Match on in-port, EtherType and/or destination MAC (``None`` = wildcard)."""
+
+    in_port: Optional[int] = None
+    eth_type: Optional[EtherType] = None
+    eth_dst: Optional[MacAddress] = None
+    eth_src: Optional[MacAddress] = None
+
+    def matches(self, frame: EthernetFrame, in_port: int) -> bool:
+        """Whether the frame arriving on ``in_port`` satisfies the match."""
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        if self.eth_type is not None and self.eth_type != frame.ethertype:
+            return False
+        if self.eth_dst is not None and self.eth_dst != frame.dst_mac:
+            return False
+        if self.eth_src is not None and self.eth_src != frame.src_mac:
+            return False
+        return True
+
+    @property
+    def specificity(self) -> int:
+        """Number of non-wildcarded fields (diagnostics only)."""
+        return sum(
+            1
+            for value in (self.in_port, self.eth_type, self.eth_dst, self.eth_src)
+            if value is not None
+        )
+
+
+@dataclass(frozen=True)
+class Actions:
+    """Action list applied to matching frames, in OpenFlow apply-actions order:
+    optional MAC rewrites, then output."""
+
+    set_eth_dst: Optional[MacAddress] = None
+    set_eth_src: Optional[MacAddress] = None
+    output_port: Optional[int] = None
+
+    @property
+    def is_drop(self) -> bool:
+        """No output action means the frame is dropped."""
+        return self.output_port is None
+
+    @property
+    def to_controller(self) -> bool:
+        """Whether the frame is punted to the controller."""
+        return self.output_port == CONTROLLER_PORT
+
+    def apply(self, frame: EthernetFrame) -> EthernetFrame:
+        """Return the frame after the rewrite actions (output is the caller's job)."""
+        result = frame
+        if self.set_eth_dst is not None:
+            result = result.with_dst_mac(self.set_eth_dst)
+        if self.set_eth_src is not None:
+            result = result.with_src_mac(self.set_eth_src)
+        return result
+
+
+@dataclass(frozen=True)
+class FlowEntry:
+    """One flow-table entry."""
+
+    match: FlowMatch
+    actions: Actions
+    priority: int = 100
+    cookie: int = 0
+    installed_at: float = 0.0
+
+    def with_actions(self, actions: Actions) -> "FlowEntry":
+        """Copy of the entry with different actions (a MODIFY flow-mod)."""
+        return replace(self, actions=actions)
+
+
+@dataclass
+class FlowStats:
+    """Per-entry counters."""
+
+    packets: int = 0
+    bytes: int = 0
+
+
+class FlowTable:
+    """Priority-ordered flow table with per-entry counters.
+
+    ``capacity`` models the limited TCAM of a hardware switch; exceeding it
+    raises :class:`FlowTableError`, which the FIB-cache extension relies on.
+    """
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity <= 0:
+            raise FlowTableError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: List[FlowEntry] = []
+        self._stats: Dict[int, FlowStats] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def install(self, entry: FlowEntry) -> None:
+        """Add an entry; an entry with an identical match+priority is replaced."""
+        existing = self._find(entry.match, entry.priority)
+        if existing is not None:
+            self._entries.remove(existing)
+            self._stats.pop(id(existing), None)
+        elif len(self._entries) >= self.capacity:
+            raise FlowTableError(
+                f"flow table full ({self.capacity} entries), cannot install {entry}"
+            )
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: -e.priority)
+        self._stats[id(entry)] = FlowStats()
+
+    def modify(self, match: FlowMatch, priority: int, actions: Actions) -> bool:
+        """Replace the actions of the entry with the given match+priority.
+
+        Returns whether an entry was found and modified.
+        """
+        existing = self._find(match, priority)
+        if existing is None:
+            return False
+        updated = existing.with_actions(actions)
+        stats = self._stats.pop(id(existing))
+        index = self._entries.index(existing)
+        self._entries[index] = updated
+        self._stats[id(updated)] = stats
+        return True
+
+    def remove(self, match: FlowMatch, priority: Optional[int] = None) -> int:
+        """Remove entries matching the given match (and priority, if given).
+
+        Returns the number of removed entries.
+        """
+        to_remove = [
+            entry
+            for entry in self._entries
+            if entry.match == match and (priority is None or entry.priority == priority)
+        ]
+        for entry in to_remove:
+            self._entries.remove(entry)
+            self._stats.pop(id(entry), None)
+        return len(to_remove)
+
+    def clear(self) -> None:
+        """Remove every entry."""
+        self._entries.clear()
+        self._stats.clear()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, frame: EthernetFrame, in_port: int) -> Optional[FlowEntry]:
+        """Highest-priority matching entry, updating its counters."""
+        for entry in self._entries:
+            if entry.match.matches(frame, in_port):
+                stats = self._stats[id(entry)]
+                stats.packets += 1
+                stats.bytes += frame.size_bytes
+                return entry
+        return None
+
+    def stats(self, entry: FlowEntry) -> FlowStats:
+        """Counters of an installed entry."""
+        if id(entry) not in self._stats:
+            raise FlowTableError("entry is not installed in this table")
+        return self._stats[id(entry)]
+
+    def entries(self) -> Tuple[FlowEntry, ...]:
+        """All entries in priority order."""
+        return tuple(self._entries)
+
+    def find(self, match: FlowMatch, priority: int) -> Optional[FlowEntry]:
+        """The installed entry with exactly this match and priority, if any."""
+        return self._find(match, priority)
+
+    def _find(self, match: FlowMatch, priority: int) -> Optional[FlowEntry]:
+        for entry in self._entries:
+            if entry.match == match and entry.priority == priority:
+                return entry
+        return None
+
+    def __len__(self) -> int:
+        return len(self._entries)

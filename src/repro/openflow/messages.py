@@ -1,0 +1,61 @@
+"""Controller ↔ switch protocol messages (OpenFlow subset)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.net.packets import EthernetFrame
+from repro.openflow.flow_table import Actions, FlowMatch
+
+
+class FlowModCommand(enum.Enum):
+    """Flow-mod commands (OFPFC_*)."""
+
+    ADD = "add"
+    MODIFY = "modify"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class FlowMod:
+    """Install, modify or delete a flow entry."""
+
+    command: FlowModCommand
+    match: FlowMatch
+    actions: Optional[Actions] = None
+    priority: int = 100
+    cookie: int = 0
+
+
+@dataclass(frozen=True)
+class PacketIn:
+    """Frame punted from the switch to the controller."""
+
+    frame: EthernetFrame
+    in_port: int
+    reason: str = "action"
+
+
+@dataclass(frozen=True)
+class PacketOut:
+    """Frame injected by the controller into the switch data plane."""
+
+    frame: EthernetFrame
+    out_port: int
+
+
+class PortStatusReason(enum.Enum):
+    """Why a port-status notification was generated."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+
+
+@dataclass(frozen=True)
+class PortStatus:
+    """Asynchronous notification of a port state change."""
+
+    port: int
+    reason: PortStatusReason

@@ -1,0 +1,216 @@
+"""The SDN switch data plane.
+
+The switch owns a set of ports wired to :class:`repro.net.links.Link`
+objects, a :class:`~repro.openflow.flow_table.FlowTable`, and one or more
+controller channels.  Incoming frames are matched against the table;
+``output`` actions forward (after the pipeline/processing latency),
+``CONTROLLER`` actions punt the frame as a packet-in, a table miss applies
+the configurable miss behaviour (drop, flood, or punt).
+
+Rule installation latency — the time between a flow-mod arriving on the
+channel and the entry being active in hardware — is modelled explicitly
+because it is part of the supercharged convergence budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.net.links import LinkState, Port
+from repro.net.packets import EthernetFrame
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.flow_table import (
+    CONTROLLER_PORT,
+    FLOOD_PORT,
+    Actions,
+    FlowEntry,
+    FlowTable,
+)
+from repro.openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    PortStatusReason,
+)
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class SwitchConfig:
+    """Hardware characteristics of the switch."""
+
+    #: Per-frame forwarding pipeline latency in seconds.
+    forwarding_latency: float = 5e-6
+    #: Time to program one flow entry into the hardware table.
+    flow_mod_latency: float = 2e-3
+    #: Flow table capacity (TCAM entries).
+    table_capacity: int = 4096
+    #: What to do with frames that match no entry: "drop", "flood" or "controller".
+    table_miss: str = "drop"
+
+
+class OpenFlowSwitch:
+    """An OpenFlow-style switch with numbered ports."""
+
+    def __init__(self, sim: Simulator, name: str, config: Optional[SwitchConfig] = None) -> None:
+        self._sim = sim
+        self.name = name
+        self.config = config or SwitchConfig()
+        if self.config.table_miss not in ("drop", "flood", "controller"):
+            raise ValueError(f"invalid table_miss policy: {self.config.table_miss}")
+        self.flow_table = FlowTable(capacity=self.config.table_capacity)
+        self._ports: Dict[int, Port] = {}
+        self._channels: List[ControllerChannel] = []
+        self._flow_mod_listeners: List = []
+        self.frames_forwarded = 0
+        self.frames_dropped = 0
+        self.packet_ins = 0
+        self.flow_mods_applied = 0
+
+    def on_flow_mod_applied(self, callback) -> None:
+        """Register a callback fired after a flow-mod is programmed in hardware.
+
+        Used by the measurement instruments to re-evaluate reachability the
+        instant the switch's forwarding behaviour changes.
+        """
+        self._flow_mod_listeners.append(callback)
+
+    # ------------------------------------------------------------------
+    # Ports
+    # ------------------------------------------------------------------
+    def add_port(self, number: int) -> Port:
+        """Create port ``number`` and return it for wiring to a link."""
+        if number in self._ports:
+            raise ValueError(f"port {number} already exists on {self.name}")
+        port = Port(self.name, number)
+        port.set_frame_handler(self._handle_frame)
+        port.set_state_handler(self._handle_link_state)
+        self._ports[number] = port
+        return port
+
+    def port(self, number: int) -> Port:
+        """The port object with the given number."""
+        return self._ports[number]
+
+    def ports(self) -> Dict[int, Port]:
+        """All ports by number."""
+        return dict(self._ports)
+
+    # ------------------------------------------------------------------
+    # Controller channels
+    # ------------------------------------------------------------------
+    def attach_controller(self, channel: ControllerChannel) -> None:
+        """Connect a controller channel; flow-mods and packet-outs from it
+        are applied, packet-ins and port-status events are sent to it."""
+        channel.connect_switch(self._handle_controller_message)
+        self._channels.append(channel)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _handle_frame(self, frame: EthernetFrame, port: Port) -> None:
+        entry = self.flow_table.lookup(frame, port.number)
+        if entry is None:
+            self._handle_miss(frame, port)
+            return
+        actions = entry.actions
+        if actions.is_drop:
+            self.frames_dropped += 1
+            return
+        rewritten = actions.apply(frame)
+        if actions.to_controller:
+            self._punt(rewritten, port.number, reason="action")
+            return
+        self._forward(rewritten, actions.output_port, in_port=port.number)
+
+    def _handle_miss(self, frame: EthernetFrame, port: Port) -> None:
+        policy = self.config.table_miss
+        if policy == "drop":
+            self.frames_dropped += 1
+        elif policy == "flood":
+            self._forward(frame, FLOOD_PORT, in_port=port.number)
+        else:
+            self._punt(frame, port.number, reason="no_match")
+
+    def _forward(self, frame: EthernetFrame, out_port: int, in_port: int) -> None:
+        def transmit() -> None:
+            if out_port == FLOOD_PORT:
+                for number, port in self._ports.items():
+                    if number != in_port and port.is_up:
+                        port.send(frame)
+                self.frames_forwarded += 1
+                return
+            port = self._ports.get(out_port)
+            if port is None or not port.is_up:
+                self.frames_dropped += 1
+                return
+            port.send(frame)
+            self.frames_forwarded += 1
+
+        self._sim.schedule(self.config.forwarding_latency, transmit, name=f"{self.name}:fwd")
+
+    def _punt(self, frame: EthernetFrame, in_port: int, reason: str) -> None:
+        self.packet_ins += 1
+        packet_in = PacketIn(frame=frame, in_port=in_port, reason=reason)
+        for channel in self._channels:
+            channel.send_packet_in(packet_in)
+
+    # ------------------------------------------------------------------
+    # Controller plane
+    # ------------------------------------------------------------------
+    def _handle_controller_message(self, message: object) -> None:
+        if isinstance(message, FlowMod):
+            self._apply_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._forward(message.frame, message.out_port, in_port=-1)
+
+    def _apply_flow_mod(self, flow_mod: FlowMod) -> None:
+        def program() -> None:
+            self.flow_mods_applied += 1
+            if flow_mod.command is FlowModCommand.ADD:
+                entry = FlowEntry(
+                    match=flow_mod.match,
+                    actions=flow_mod.actions or Actions(),
+                    priority=flow_mod.priority,
+                    cookie=flow_mod.cookie,
+                    installed_at=self._sim.now,
+                )
+                self.flow_table.install(entry)
+            elif flow_mod.command is FlowModCommand.MODIFY:
+                modified = self.flow_table.modify(
+                    flow_mod.match, flow_mod.priority, flow_mod.actions or Actions()
+                )
+                if not modified:
+                    # OpenFlow semantics: MODIFY of a missing entry adds it.
+                    self.flow_table.install(
+                        FlowEntry(
+                            match=flow_mod.match,
+                            actions=flow_mod.actions or Actions(),
+                            priority=flow_mod.priority,
+                            cookie=flow_mod.cookie,
+                            installed_at=self._sim.now,
+                        )
+                    )
+            elif flow_mod.command is FlowModCommand.DELETE:
+                self.flow_table.remove(flow_mod.match, flow_mod.priority)
+            for callback in list(self._flow_mod_listeners):
+                callback(flow_mod)
+
+        self._sim.schedule(self.config.flow_mod_latency, program, name=f"{self.name}:flow-mod")
+
+    # ------------------------------------------------------------------
+    # Port status
+    # ------------------------------------------------------------------
+    def _handle_link_state(self, state: LinkState, port: Port) -> None:
+        reason = (
+            PortStatusReason.LINK_DOWN if state is LinkState.DOWN else PortStatusReason.LINK_UP
+        )
+        status = PortStatus(port=port.number, reason=reason)
+        for channel in self._channels:
+            channel.send_port_status(status)
+
+    def __repr__(self) -> str:
+        return f"OpenFlowSwitch({self.name}, ports={len(self._ports)}, flows={len(self.flow_table)})"

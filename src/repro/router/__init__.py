@@ -1,0 +1,42 @@
+"""Legacy IP router substrate.
+
+Models the Cisco Nexus 7k of the paper's testbed at the level of detail
+that matters for convergence behaviour:
+
+* a longest-prefix-match FIB — **flat** by default (each prefix carries its
+  own L2 adjacency) or **hierarchical** (PIC-style shared pointers) for the
+  ablation baseline;
+* a serial FIB update engine with a configurable first-entry latency and
+  per-entry latency, reproducing the linear-in-prefixes convergence of the
+  paper's Figure 5;
+* an ARP client used to resolve next hops (including the controller's
+  virtual next hops) to MAC addresses;
+* a router node tying interfaces, a BGP speaker, optional BFD, the FIB and
+  the data plane together.
+"""
+
+from repro.router.fib import (
+    Adjacency,
+    FibEntry,
+    FlatFib,
+    HierarchicalFib,
+    LpmTable,
+)
+from repro.router.fib_updater import FibUpdater, FibUpdaterConfig, FibWriteRequest
+from repro.router.arp_client import ArpClient
+from repro.router.router import Router, RouterConfig, StaticRoute
+
+__all__ = [
+    "Adjacency",
+    "FibEntry",
+    "FlatFib",
+    "HierarchicalFib",
+    "LpmTable",
+    "FibUpdater",
+    "FibUpdaterConfig",
+    "FibWriteRequest",
+    "ArpClient",
+    "Router",
+    "RouterConfig",
+    "StaticRoute",
+]

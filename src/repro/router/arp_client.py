@@ -1,0 +1,93 @@
+"""ARP client: resolve next-hop IPs to MACs, queueing work until resolved.
+
+The supercharged router resolves the controller's virtual next hops with
+exactly this machinery — from the router's point of view a VNH is just
+another neighbor on the connected subnet.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.arp.cache import ArpCache
+from repro.arp.protocol import build_arp_request
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.interfaces import Interface
+from repro.net.packets import ArpOp, ArpPacket
+from repro.sim.engine import Simulator
+
+
+class ArpClient:
+    """Per-router ARP resolution with pending-callback queues and retries."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cache: ArpCache,
+        retry_interval: float = 1.0,
+        max_retries: int = 3,
+    ) -> None:
+        self._sim = sim
+        self._cache = cache
+        self.retry_interval = retry_interval
+        self.max_retries = max_retries
+        self._pending: Dict[IPv4Address, List[Callable[[Optional[MacAddress]], None]]] = {}
+        self._attempts: Dict[IPv4Address, int] = {}
+        self.requests_sent = 0
+
+    def resolve(
+        self,
+        ip: IPv4Address,
+        interface: Interface,
+        callback: Callable[[Optional[MacAddress]], None],
+    ) -> None:
+        """Resolve ``ip`` on ``interface``; the callback receives the MAC or
+        ``None`` after ``max_retries`` unanswered requests."""
+        cached = self._cache.lookup(ip, self._sim.now)
+        if cached is not None:
+            callback(cached)
+            return
+        queue = self._pending.setdefault(ip, [])
+        queue.append(callback)
+        if len(queue) == 1:
+            self._attempts[ip] = 0
+            self._send_request(ip, interface)
+
+    def cached(self, ip: IPv4Address) -> Optional[MacAddress]:
+        """Non-blocking cache lookup."""
+        return self._cache.lookup(ip, self._sim.now)
+
+    def handle_reply(self, packet: ArpPacket) -> None:
+        """Feed a received ARP packet (reply *or* request) into the client;
+        any pending resolutions for the sender IP complete."""
+        if packet.op not in (ArpOp.REPLY, ArpOp.REQUEST):
+            return
+        self._cache.learn(packet.sender_ip, packet.sender_mac, self._sim.now)
+        waiting = self._pending.pop(packet.sender_ip, [])
+        self._attempts.pop(packet.sender_ip, None)
+        for callback in waiting:
+            callback(packet.sender_mac)
+
+    def _send_request(self, ip: IPv4Address, interface: Interface) -> None:
+        if ip not in self._pending:
+            return
+        attempts = self._attempts.get(ip, 0)
+        if attempts >= self.max_retries:
+            waiting = self._pending.pop(ip, [])
+            self._attempts.pop(ip, None)
+            for callback in waiting:
+                callback(None)
+            return
+        self._attempts[ip] = attempts + 1
+        self.requests_sent += 1
+        frame = build_arp_request(
+            sender_mac=interface.mac,
+            sender_ip=interface.ip,
+            target_ip=ip,
+        )
+        interface.port.send(frame)
+        self._sim.schedule(
+            self.retry_interval,
+            lambda: self._send_request(ip, interface),
+            name="arp-retry",
+        )

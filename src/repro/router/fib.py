@@ -1,0 +1,276 @@
+"""Forwarding Information Base structures.
+
+Two FIB organisations are provided, mirroring the paper's Figure 1/2
+discussion:
+
+* :class:`FlatFib` — every prefix stores its own L2 adjacency (next-hop
+  MAC + output port).  Rewriting the adjacency of many prefixes therefore
+  requires touching every entry, which is why the standalone router
+  converges linearly in the number of prefixes.
+* :class:`HierarchicalFib` — prefixes store a *pointer* into a shared
+  adjacency table (BGP PIC).  Repointing one adjacency instantly redirects
+  every dependent prefix; this is the expensive-hardware alternative the
+  supercharged design replicates across two devices.
+
+Both are built on :class:`LpmTable`, a binary trie keyed on prefix bits
+providing longest-prefix-match lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generic, Iterator, List, Optional, Tuple, TypeVar
+
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+
+ValueT = TypeVar("ValueT")
+
+
+@dataclass(frozen=True)
+class Adjacency:
+    """An L2 next hop: destination MAC plus output interface name."""
+
+    mac: MacAddress
+    interface: str
+    next_hop_ip: Optional[IPv4Address] = None
+
+
+@dataclass(frozen=True)
+class FibEntry:
+    """One prefix's forwarding state as seen by the data plane."""
+
+    prefix: IPv4Prefix
+    adjacency: Adjacency
+    updated_at: float = 0.0
+
+
+class _TrieNode(Generic[ValueT]):
+    """Node of the binary LPM trie."""
+
+    __slots__ = ("children", "value", "has_value")
+
+    def __init__(self) -> None:
+        self.children: List[Optional["_TrieNode[ValueT]"]] = [None, None]
+        self.value: Optional[ValueT] = None
+        self.has_value = False
+
+
+class LpmTable(Generic[ValueT]):
+    """Binary trie mapping IPv4 prefixes to arbitrary values with LPM lookup."""
+
+    def __init__(self) -> None:
+        self._root: _TrieNode[ValueT] = _TrieNode()
+        self._count = 0
+
+    @staticmethod
+    def _bits(prefix: IPv4Prefix) -> Iterator[int]:
+        network = prefix.network.value
+        for position in range(prefix.length):
+            yield (network >> (31 - position)) & 1
+
+    def insert(self, prefix: IPv4Prefix, value: ValueT) -> bool:
+        """Insert or replace; returns ``True`` when the prefix was new."""
+        node = self._root
+        for bit in self._bits(prefix):
+            if node.children[bit] is None:
+                node.children[bit] = _TrieNode()
+            node = node.children[bit]
+        was_new = not node.has_value
+        node.value = value
+        node.has_value = True
+        if was_new:
+            self._count += 1
+        return was_new
+
+    def remove(self, prefix: IPv4Prefix) -> bool:
+        """Remove the exact prefix; returns whether it was present."""
+        node = self._root
+        for bit in self._bits(prefix):
+            if node.children[bit] is None:
+                return False
+            node = node.children[bit]
+        if not node.has_value:
+            return False
+        node.has_value = False
+        node.value = None
+        self._count -= 1
+        return True
+
+    def exact(self, prefix: IPv4Prefix) -> Optional[ValueT]:
+        """Value stored for exactly this prefix, if any."""
+        node = self._root
+        for bit in self._bits(prefix):
+            if node.children[bit] is None:
+                return None
+            node = node.children[bit]
+        return node.value if node.has_value else None
+
+    def lookup(self, address: IPv4Address) -> Optional[Tuple[IPv4Prefix, ValueT]]:
+        """Longest-prefix match for ``address``."""
+        node = self._root
+        best: Optional[Tuple[int, ValueT]] = None
+        value = address.value
+        depth = 0
+        if node.has_value:
+            best = (0, node.value)
+        while depth < 32:
+            bit = (value >> (31 - depth)) & 1
+            child = node.children[bit]
+            if child is None:
+                break
+            node = child
+            depth += 1
+            if node.has_value:
+                best = (depth, node.value)
+        if best is None:
+            return None
+        length, matched_value = best
+        masked = value & IPv4Prefix.mask_for(length)
+        return IPv4Prefix(IPv4Address(masked), length), matched_value
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return self.exact(prefix) is not None
+
+
+class FlatFib:
+    """Flat FIB: prefix → private adjacency copy (paper Figure 1)."""
+
+    def __init__(self) -> None:
+        self._table: LpmTable[FibEntry] = LpmTable()
+        self._prefixes: Dict[IPv4Prefix, FibEntry] = {}
+
+    # ------------------------------------------------------------------
+    # Mutation (the data-plane write; timing is owned by the FibUpdater)
+    # ------------------------------------------------------------------
+    def write(self, prefix: IPv4Prefix, adjacency: Adjacency, now: float = 0.0) -> FibEntry:
+        """Install or overwrite the entry for ``prefix``."""
+        entry = FibEntry(prefix=prefix, adjacency=adjacency, updated_at=now)
+        self._table.insert(prefix, entry)
+        self._prefixes[prefix] = entry
+        return entry
+
+    def delete(self, prefix: IPv4Prefix) -> bool:
+        """Remove the entry for ``prefix``; returns whether it existed."""
+        self._prefixes.pop(prefix, None)
+        return self._table.remove(prefix)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def lookup(self, address: IPv4Address) -> Optional[FibEntry]:
+        """Longest-prefix-match forwarding decision for ``address``."""
+        result = self._table.lookup(address)
+        return result[1] if result is not None else None
+
+    def entry(self, prefix: IPv4Prefix) -> Optional[FibEntry]:
+        """Exact-match entry for ``prefix``."""
+        return self._prefixes.get(prefix)
+
+    def entries(self) -> Iterator[FibEntry]:
+        """Iterate all installed entries."""
+        return iter(self._prefixes.values())
+
+    def prefixes_using(self, mac: MacAddress) -> List[IPv4Prefix]:
+        """All prefixes whose adjacency points at ``mac`` (diagnostics)."""
+        return [p for p, e in self._prefixes.items() if e.adjacency.mac == mac]
+
+    def __len__(self) -> int:
+        return len(self._prefixes)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._prefixes
+
+
+class HierarchicalFib:
+    """PIC-style hierarchical FIB: prefix → pointer → shared adjacency.
+
+    Used as the "expensive line-card" baseline in the ablation experiments:
+    repointing a shared adjacency converges every dependent prefix at once.
+    """
+
+    def __init__(self) -> None:
+        self._table: LpmTable[int] = LpmTable()
+        self._prefix_pointer: Dict[IPv4Prefix, int] = {}
+        self._adjacencies: Dict[int, Adjacency] = {}
+        self._next_pointer = 1
+        self._updated_at: Dict[IPv4Prefix, float] = {}
+
+    # ------------------------------------------------------------------
+    # Adjacency (pointer) management
+    # ------------------------------------------------------------------
+    def add_adjacency(self, adjacency: Adjacency) -> int:
+        """Register a shared adjacency, returning its pointer id."""
+        pointer = self._next_pointer
+        self._next_pointer += 1
+        self._adjacencies[pointer] = adjacency
+        return pointer
+
+    def repoint(self, pointer: int, adjacency: Adjacency) -> None:
+        """Atomically replace the adjacency behind ``pointer``.
+
+        This is the constant-time convergence operation PIC provides.
+        """
+        if pointer not in self._adjacencies:
+            raise KeyError(f"unknown adjacency pointer {pointer}")
+        self._adjacencies[pointer] = adjacency
+
+    def adjacency(self, pointer: int) -> Adjacency:
+        """The adjacency currently behind ``pointer``."""
+        return self._adjacencies[pointer]
+
+    def pointers(self) -> Dict[int, Adjacency]:
+        """All pointers and their adjacencies."""
+        return dict(self._adjacencies)
+
+    # ------------------------------------------------------------------
+    # Prefix entries
+    # ------------------------------------------------------------------
+    def write(self, prefix: IPv4Prefix, pointer: int, now: float = 0.0) -> None:
+        """Install or move ``prefix`` onto ``pointer``."""
+        if pointer not in self._adjacencies:
+            raise KeyError(f"unknown adjacency pointer {pointer}")
+        self._table.insert(prefix, pointer)
+        self._prefix_pointer[prefix] = pointer
+        self._updated_at[prefix] = now
+
+    def delete(self, prefix: IPv4Prefix) -> bool:
+        """Remove ``prefix``; returns whether it existed."""
+        self._prefix_pointer.pop(prefix, None)
+        self._updated_at.pop(prefix, None)
+        return self._table.remove(prefix)
+
+    def lookup(self, address: IPv4Address) -> Optional[FibEntry]:
+        """LPM forwarding decision (pointer resolved to its adjacency)."""
+        result = self._table.lookup(address)
+        if result is None:
+            return None
+        prefix, pointer = result
+        return FibEntry(
+            prefix=prefix,
+            adjacency=self._adjacencies[pointer],
+            updated_at=self._updated_at.get(prefix, 0.0),
+        )
+
+    def entry(self, prefix: IPv4Prefix) -> Optional[FibEntry]:
+        """Exact-match entry for ``prefix`` (pointer resolved)."""
+        pointer = self._prefix_pointer.get(prefix)
+        if pointer is None:
+            return None
+        return FibEntry(
+            prefix=prefix,
+            adjacency=self._adjacencies[pointer],
+            updated_at=self._updated_at.get(prefix, 0.0),
+        )
+
+    def pointer_of(self, prefix: IPv4Prefix) -> Optional[int]:
+        """Pointer id used by ``prefix``, if installed."""
+        return self._prefix_pointer.get(prefix)
+
+    def __len__(self) -> int:
+        return len(self._prefix_pointer)
+
+    def __contains__(self, prefix: IPv4Prefix) -> bool:
+        return prefix in self._prefix_pointer

@@ -1,0 +1,544 @@
+"""The legacy router node.
+
+:class:`Router` glues together the pieces a hardware router contains:
+
+* numbered interfaces (ports with MAC + IP configuration);
+* a BGP speaker (control plane) whose best-path changes drive…
+* …the serial :class:`~repro.router.fib_updater.FibUpdater` feeding a flat
+  (or, optionally, hierarchical) FIB;
+* an ARP client/server for next-hop resolution;
+* an optional BFD manager for fast failure detection;
+* an IPv4 data plane doing longest-prefix-match forwarding.
+
+The same class plays R1 (the supercharged router), R2 and R3 (the provider
+peers) in the evaluation lab — only the configuration differs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.arp.cache import ArpCache
+from repro.arp.protocol import ArpHandler
+from repro.bfd.manager import BfdManager
+from repro.bgp.messages import BgpMessage
+from repro.bgp.rib import RibChange
+from repro.bgp.speaker import BgpSpeaker, PeerConfig
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.interfaces import Interface
+from repro.net.links import LinkState, Port
+from repro.net.packets import (
+    BfdControl,
+    BgpTransport,
+    EtherType,
+    EthernetFrame,
+    IpProtocol,
+    IPv4Packet,
+    UdpDatagram,
+)
+from repro.router.fib import Adjacency, FibEntry, FlatFib, HierarchicalFib
+from repro.router.fib_updater import FibUpdater, FibUpdaterConfig
+from repro.router.arp_client import ArpClient
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class RouterConfig:
+    """Per-router knobs."""
+
+    asn: int
+    router_id: IPv4Address
+    fib_updater: FibUpdaterConfig = field(default_factory=FibUpdaterConfig)
+    #: Per-packet forwarding latency of the data plane.
+    forwarding_latency: float = 10e-6
+    #: Use a PIC-style hierarchical FIB instead of a flat one (ablation).
+    hierarchical_fib: bool = False
+    #: ARP cache lifetime in seconds.
+    arp_lifetime: float = 1200.0
+    #: BFD transmit interval; ``None`` disables BFD on this router.
+    bfd_interval: Optional[float] = None
+    bfd_multiplier: int = 3
+    bgp_hold_time: float = 90.0
+
+
+@dataclass(frozen=True)
+class StaticRoute:
+    """A statically configured route (installed at boot, bypassing BGP)."""
+
+    prefix: IPv4Prefix
+    next_hop: IPv4Address
+
+
+class Router:
+    """A simulated IP router / BGP speaker."""
+
+    def __init__(self, sim: Simulator, name: str, config: RouterConfig) -> None:
+        self._sim = sim
+        self.name = name
+        self.config = config
+        self.interfaces: Dict[str, Interface] = {}
+        self._ports: Dict[int, Port] = {}
+        self._next_port_number = 0
+        self.arp_cache = ArpCache(lifetime=config.arp_lifetime)
+        self.arp_client = ArpClient(sim, self.arp_cache)
+        self._arp_handler = ArpHandler(self.arp_cache, now=lambda: sim.now)
+        self.fib = HierarchicalFib() if config.hierarchical_fib else FlatFib()
+        # The serial updater only drives flat FIBs; hierarchical routers
+        # converge by repointing adjacencies (see _peer_unreachable).
+        self._flat_for_updater = self.fib if isinstance(self.fib, FlatFib) else FlatFib()
+        self.fib_updater = FibUpdater(
+            sim, self._flat_for_updater, config.fib_updater, name=f"{name}:fib"
+        )
+        self.bgp = BgpSpeaker(
+            sim,
+            asn=config.asn,
+            router_id=config.router_id,
+            transport=self._send_bgp,
+        )
+        self.bgp.on_rib_change(self._handle_rib_change)
+        self.bgp.on_peer_down(self._handle_bgp_peer_down)
+        self.bfd: Optional[BfdManager] = None
+        if config.bfd_interval is not None:
+            self.bfd = BfdManager(
+                sim,
+                send=self._send_bfd,
+                tx_interval=config.bfd_interval,
+                detect_multiplier=config.bfd_multiplier,
+            )
+            self.bfd.on_peer_down(self._handle_bfd_peer_down)
+        # Next-hop IP -> resolved adjacency, shared by all prefixes via that NH.
+        self._adjacency_cache: Dict[IPv4Address, Adjacency] = {}
+        # Next-hop IP -> prefixes waiting for ARP resolution.
+        self._pending_adjacency: Dict[IPv4Address, List[IPv4Prefix]] = {}
+        # Hierarchical FIB: next-hop IP -> pointer id.
+        self._pointer_by_next_hop: Dict[IPv4Address, int] = {}
+        self._static_routes: List[StaticRoute] = []
+        self._udp_handlers: List[Callable[[IPv4Packet, UdpDatagram], None]] = []
+        # Listeners notified when forwarding state changes outside the serial
+        # FIB updater (hierarchical-FIB writes and repoints); the argument is
+        # the affected prefix, or None for a change affecting many prefixes.
+        self._fib_change_listeners: List[Callable[[Optional[IPv4Prefix]], None]] = []
+        #: Data-plane counters.
+        self.packets_forwarded = 0
+        self.packets_dropped_no_route = 0
+        self.packets_dropped_no_adjacency = 0
+        self.packets_delivered_locally = 0
+
+    # ------------------------------------------------------------------
+    # Interfaces
+    # ------------------------------------------------------------------
+    def add_interface(
+        self,
+        name: str,
+        mac: MacAddress,
+        ip: Optional[IPv4Address] = None,
+        subnet: Optional[IPv4Prefix] = None,
+    ) -> Interface:
+        """Create an interface (and its port) ready to be wired to a link."""
+        if name in self.interfaces:
+            raise ValueError(f"interface {name} already exists on {self.name}")
+        port = Port(self.name, self._next_port_number)
+        self._next_port_number += 1
+        port.set_frame_handler(self._handle_frame)
+        port.set_state_handler(self._handle_link_state)
+        self._ports[port.number] = port
+        interface = Interface(name=name, port=port, mac=mac, ip=ip, subnet=subnet)
+        self.interfaces[name] = interface
+        if ip is not None:
+            self._arp_handler.register(ip, mac)
+        return interface
+
+    def interface_for(self, address: IPv4Address) -> Optional[Interface]:
+        """The interface whose connected subnet covers ``address``."""
+        for interface in self.interfaces.values():
+            if interface.covers(address):
+                return interface
+        return None
+
+    def interface_by_port(self, port: Port) -> Optional[Interface]:
+        """The interface owning ``port``."""
+        for interface in self.interfaces.values():
+            if interface.port is port:
+                return interface
+        return None
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def add_bgp_peer(self, peer: PeerConfig) -> None:
+        """Configure a BGP neighbor (session started by :meth:`start`)."""
+        self.bgp.add_peer(peer)
+
+    def add_bfd_peer(self, peer_ip: IPv4Address) -> None:
+        """Start BFD liveness detection towards ``peer_ip``."""
+        if self.bfd is None:
+            raise RuntimeError(f"{self.name} has BFD disabled (bfd_interval is None)")
+        self.bfd.add_peer(peer_ip)
+
+    def add_static_route(self, route: StaticRoute) -> None:
+        """Install a static route immediately (boot-time configuration)."""
+        self._static_routes.append(route)
+        self._install_route(route.prefix, route.next_hop, immediate=True)
+
+    def on_udp(self, handler: Callable[[IPv4Packet, UdpDatagram], None]) -> None:
+        """Register a handler for UDP datagrams addressed to this router."""
+        self._udp_handlers.append(handler)
+
+    def on_fib_changed(self, handler: Callable[[Optional[IPv4Prefix]], None]) -> None:
+        """Register a listener for forwarding changes not visible through the
+        FIB updater (hierarchical-FIB writes/repoints).  ``None`` means the
+        change potentially affects every prefix."""
+        self._fib_change_listeners.append(handler)
+
+    def _notify_fib_changed(self, prefix: Optional[IPv4Prefix]) -> None:
+        for handler in list(self._fib_change_listeners):
+            handler(prefix)
+
+    def start(self) -> None:
+        """Bring up the control plane (BGP sessions)."""
+        self.bgp.start()
+
+    # ------------------------------------------------------------------
+    # Forwarding-state queries (no side effects; used by the path tracer)
+    # ------------------------------------------------------------------
+    def lookup_fib(self, destination: IPv4Address) -> Optional[FibEntry]:
+        """Current FIB forwarding decision for ``destination``."""
+        return self.fib.lookup(destination)
+
+    def forwarding_decision(
+        self, destination: IPv4Address
+    ) -> Optional[Tuple[Interface, MacAddress]]:
+        """Where a packet to ``destination`` would be sent *right now*.
+
+        Connected destinations resolve through the ARP cache; remote ones
+        through the FIB.  Returns ``None`` when the packet would be dropped.
+        """
+        local = self.interface_for(destination)
+        if local is not None:
+            mac = self.arp_cache.lookup(destination, self._sim.now)
+            if mac is None:
+                return None
+            return (local, mac) if local.is_up else None
+        entry = self.fib.lookup(destination)
+        if entry is None:
+            return None
+        interface = self.interfaces.get(entry.adjacency.interface)
+        if interface is None or not interface.is_up:
+            return None
+        return interface, entry.adjacency.mac
+
+    # ------------------------------------------------------------------
+    # Packet transmission helpers
+    # ------------------------------------------------------------------
+    def send_ip_packet(self, packet: IPv4Packet) -> None:
+        """Send a locally originated IPv4 packet."""
+        self._forward(packet, immediate=True)
+
+    def _send_bgp(self, peer_ip: IPv4Address, message: BgpMessage) -> None:
+        interface = self.interface_for(peer_ip)
+        if interface is None or interface.ip is None:
+            return
+        transport = BgpTransport(src_ip=interface.ip, dst_ip=peer_ip, message=message)
+
+        def transmit(mac: Optional[MacAddress]) -> None:
+            if mac is None or not interface.is_up:
+                return
+            frame = EthernetFrame(
+                src_mac=interface.mac,
+                dst_mac=mac,
+                ethertype=EtherType.BGP_TRANSPORT,
+                payload=transport,
+            )
+            interface.port.send(frame)
+
+        self.arp_client.resolve(peer_ip, interface, transmit)
+
+    def _send_bfd(self, peer_ip: IPv4Address, packet: BfdControl) -> None:
+        interface = self.interface_for(peer_ip)
+        if interface is None or interface.ip is None:
+            return
+        ip_packet = IPv4Packet(
+            src=interface.ip, dst=peer_ip, protocol=IpProtocol.BFD, payload=packet
+        )
+
+        def transmit(mac: Optional[MacAddress]) -> None:
+            if mac is None or not interface.is_up:
+                return
+            frame = EthernetFrame(
+                src_mac=interface.mac,
+                dst_mac=mac,
+                ethertype=EtherType.IPV4,
+                payload=ip_packet,
+            )
+            interface.port.send(frame)
+
+        self.arp_client.resolve(peer_ip, interface, transmit)
+
+    # ------------------------------------------------------------------
+    # Frame reception
+    # ------------------------------------------------------------------
+    def _handle_frame(self, frame: EthernetFrame, port: Port) -> None:
+        interface = self.interface_by_port(port)
+        if interface is None:
+            return
+        # Accept frames for our MAC, broadcast, or any locally administered
+        # (virtual) destination is *not* ours — routers only accept their own.
+        if frame.dst_mac not in (interface.mac,) and not frame.dst_mac.is_broadcast:
+            return
+        if frame.ethertype is EtherType.ARP:
+            self._handle_arp(frame, interface)
+        elif frame.ethertype is EtherType.BGP_TRANSPORT:
+            self._handle_bgp_transport(frame, interface)
+        elif frame.ethertype is EtherType.IPV4:
+            self._handle_ipv4(frame.payload, interface)
+
+    def _handle_arp(self, frame: EthernetFrame, interface: Interface) -> None:
+        packet = frame.payload
+        self.arp_client.handle_reply(packet)
+        reply = self._arp_handler.handle(packet)
+        if reply is not None and interface.is_up:
+            interface.port.send(reply)
+        # A next hop we were waiting for may have just resolved.
+        self._drain_pending_adjacencies(packet.sender_ip, packet.sender_mac, interface)
+
+    def _handle_bgp_transport(self, frame: EthernetFrame, interface: Interface) -> None:
+        transport: BgpTransport = frame.payload
+        if interface.ip is None or transport.dst_ip != interface.ip:
+            return
+        self.bgp.deliver(transport.src_ip, transport.message)
+
+    def _handle_ipv4(self, packet: IPv4Packet, interface: Interface) -> None:
+        if self._is_local_address(packet.dst):
+            self._deliver_locally(packet)
+            return
+        self._forward(packet)
+
+    def _is_local_address(self, address: IPv4Address) -> bool:
+        return any(
+            iface.ip is not None and iface.ip == address
+            for iface in self.interfaces.values()
+        )
+
+    def _deliver_locally(self, packet: IPv4Packet) -> None:
+        self.packets_delivered_locally += 1
+        if packet.protocol is IpProtocol.BFD and self.bfd is not None:
+            self.bfd.receive(packet.src, packet.payload)
+        elif packet.protocol is IpProtocol.UDP:
+            for handler in list(self._udp_handlers):
+                handler(packet, packet.payload)
+
+    # ------------------------------------------------------------------
+    # Data plane
+    # ------------------------------------------------------------------
+    def _forward(self, packet: IPv4Packet, immediate: bool = False) -> None:
+        if packet.ttl <= 1 and not immediate:
+            self.packets_dropped_no_route += 1
+            return
+        decision = self.forwarding_decision(packet.dst)
+        if decision is None:
+            connected = self.interface_for(packet.dst)
+            if connected is not None and connected.is_up:
+                # Directly connected destination with no ARP entry yet:
+                # resolve it and retransmit the packet once resolved.
+                self.arp_client.resolve(
+                    packet.dst,
+                    connected,
+                    lambda mac, p=packet, i=immediate: (
+                        self._forward(p, immediate=i) if mac is not None else None
+                    ),
+                )
+                return
+            entry = self.fib.lookup(packet.dst)
+            if entry is None and connected is None:
+                self.packets_dropped_no_route += 1
+            else:
+                self.packets_dropped_no_adjacency += 1
+            return
+        interface, dst_mac = decision
+        outgoing = packet if immediate else packet.decremented()
+        frame = EthernetFrame(
+            src_mac=interface.mac,
+            dst_mac=dst_mac,
+            ethertype=EtherType.IPV4,
+            payload=outgoing,
+        )
+
+        def transmit() -> None:
+            if interface.is_up:
+                interface.port.send(frame)
+                self.packets_forwarded += 1
+
+        if immediate:
+            transmit()
+        else:
+            self._sim.schedule(
+                self.config.forwarding_latency, transmit, name=f"{self.name}:fwd"
+            )
+
+    # ------------------------------------------------------------------
+    # RIB -> FIB plumbing
+    # ------------------------------------------------------------------
+    def _handle_rib_change(self, change: RibChange, from_peer: IPv4Address) -> None:
+        if not change.best_changed:
+            return
+        if change.new_best is None:
+            self._enqueue_delete(change.prefix)
+            return
+        self._install_route(change.prefix, change.new_best.next_hop, immediate=False)
+
+    def _install_route(
+        self, prefix: IPv4Prefix, next_hop: IPv4Address, immediate: bool
+    ) -> None:
+        if isinstance(self.fib, HierarchicalFib):
+            self._install_hierarchical(prefix, next_hop)
+            return
+        adjacency = self._adjacency_cache.get(next_hop)
+        if adjacency is not None:
+            self._enqueue_write(prefix, adjacency, immediate)
+            return
+        interface = self.interface_for(next_hop)
+        if interface is None:
+            # Next hop not on a connected subnet: unresolvable, treat as drop.
+            self._enqueue_delete(prefix)
+            return
+        waiting = self._pending_adjacency.setdefault(next_hop, [])
+        waiting.append(prefix)
+        if len(waiting) == 1:
+            self.arp_client.resolve(
+                next_hop,
+                interface,
+                lambda mac, nh=next_hop, iface=interface: self._adjacency_resolved(
+                    nh, mac, iface, immediate
+                ),
+            )
+
+    def _adjacency_resolved(
+        self,
+        next_hop: IPv4Address,
+        mac: Optional[MacAddress],
+        interface: Interface,
+        immediate: bool,
+    ) -> None:
+        waiting = self._pending_adjacency.pop(next_hop, [])
+        if mac is None:
+            for prefix in waiting:
+                self._enqueue_delete(prefix)
+            return
+        adjacency = Adjacency(mac=mac, interface=interface.name, next_hop_ip=next_hop)
+        self._adjacency_cache[next_hop] = adjacency
+        for prefix in waiting:
+            self._enqueue_write(prefix, adjacency, immediate)
+
+    def _drain_pending_adjacencies(
+        self, ip: IPv4Address, mac: MacAddress, interface: Interface
+    ) -> None:
+        if ip not in self._pending_adjacency:
+            return
+        waiting = self._pending_adjacency.pop(ip)
+        adjacency = Adjacency(mac=mac, interface=interface.name, next_hop_ip=ip)
+        self._adjacency_cache[ip] = adjacency
+        for prefix in waiting:
+            self._enqueue_write(prefix, adjacency, immediate=False)
+
+    def _enqueue_write(
+        self, prefix: IPv4Prefix, adjacency: Adjacency, immediate: bool
+    ) -> None:
+        self.fib_updater.enqueue(prefix, adjacency)
+        if immediate:
+            self.fib_updater.flush_immediately()
+
+    def _enqueue_delete(self, prefix: IPv4Prefix) -> None:
+        if isinstance(self.fib, HierarchicalFib):
+            self.fib.delete(prefix)
+            self._notify_fib_changed(prefix)
+            return
+        self.fib_updater.enqueue(prefix, None)
+
+    # ------------------------------------------------------------------
+    # Hierarchical (PIC) FIB path
+    # ------------------------------------------------------------------
+    def _install_hierarchical(self, prefix: IPv4Prefix, next_hop: IPv4Address) -> None:
+        assert isinstance(self.fib, HierarchicalFib)
+        pointer = self._pointer_by_next_hop.get(next_hop)
+        if pointer is None:
+            interface = self.interface_for(next_hop)
+            if interface is None:
+                return
+            mac = self.arp_cache.lookup(next_hop, self._sim.now)
+            if mac is None:
+                # Resolve then retry; PIC routers still need ARP.
+                self.arp_client.resolve(
+                    next_hop,
+                    interface,
+                    lambda _mac, p=prefix, nh=next_hop: self._install_hierarchical(p, nh),
+                )
+                return
+            adjacency = Adjacency(mac=mac, interface=interface.name, next_hop_ip=next_hop)
+            pointer = self.fib.add_adjacency(adjacency)
+            self._pointer_by_next_hop[next_hop] = pointer
+        self.fib.write(prefix, pointer, now=self._sim.now)
+        self._notify_fib_changed(prefix)
+
+    def repoint_next_hop(self, old_next_hop: IPv4Address, new_next_hop: IPv4Address) -> bool:
+        """PIC convergence: atomically repoint every prefix using
+        ``old_next_hop`` to ``new_next_hop`` (hierarchical FIBs only)."""
+        if not isinstance(self.fib, HierarchicalFib):
+            return False
+        pointer = self._pointer_by_next_hop.get(old_next_hop)
+        if pointer is None:
+            return False
+        interface = self.interface_for(new_next_hop)
+        if interface is None:
+            return False
+        mac = self.arp_cache.lookup(new_next_hop, self._sim.now)
+        if mac is None:
+            return False
+        self.fib.repoint(
+            pointer,
+            Adjacency(mac=mac, interface=interface.name, next_hop_ip=new_next_hop),
+        )
+        self._notify_fib_changed(None)
+        return True
+
+    # ------------------------------------------------------------------
+    # Failure handling
+    # ------------------------------------------------------------------
+    def _handle_link_state(self, state: LinkState, port: Port) -> None:
+        if state is not LinkState.DOWN:
+            return
+        interface = self.interface_by_port(port)
+        if interface is None or interface.subnet is None:
+            return
+        # Tear down BGP sessions to peers reached through the failed interface.
+        for peer_ip in list(self.bgp.peers()):
+            if interface.covers(peer_ip):
+                self.bgp.peer_connection_lost(peer_ip, "interface down")
+
+    def _handle_bfd_peer_down(self, peer_ip: IPv4Address, reason: str) -> None:
+        # PIC routers repoint the shared adjacency to the precomputed backup
+        # *before* the control plane reconverges — that is the whole point.
+        if isinstance(self.fib, HierarchicalFib):
+            backup = self._precomputed_backup_for(peer_ip)
+            if backup is not None:
+                self.repoint_next_hop(peer_ip, backup)
+        # BFD is registered with BGP as the fast failure detector.
+        if peer_ip in self.bgp.peers():
+            self.bgp.peer_connection_lost(peer_ip, f"BFD: {reason}")
+
+    def _precomputed_backup_for(self, failed_next_hop: IPv4Address) -> Optional[IPv4Address]:
+        """Best alternative next hop for prefixes currently routed via the
+        failed one (what PIC would have precomputed)."""
+        for prefix in self.bgp.loc_rib.prefixes():
+            ranking = self.bgp.loc_rib.ranking(prefix)
+            if ranking and ranking[0].next_hop == failed_next_hop and len(ranking) > 1:
+                return ranking[1].next_hop
+        return None
+
+    def _handle_bgp_peer_down(self, peer_ip: IPv4Address, reason: str) -> None:
+        # Nothing extra: the speaker already flushed the routes, and the
+        # resulting RIB changes drive the FIB updater.
+        return
+
+    def __repr__(self) -> str:
+        return f"Router({self.name}, asn={self.config.asn}, fib={len(self.fib)})"

@@ -1,0 +1,27 @@
+"""Synthetic route feeds (RIPE RIS substitute).
+
+The paper loads R2 and R3 with up to 512 k real IPv4 prefixes collected
+from the RIPE RIS dataset.  That dataset is not available offline, so this
+package generates deterministic synthetic full tables with a realistic
+prefix-length mix and AS-path length distribution.  Only two properties of
+the feed matter for the reproduced experiments — the *number* of prefixes
+and the fact that both providers advertise the *same* prefixes — and both
+are preserved.
+"""
+
+from repro.routes.prefix_gen import PrefixGenerator, PREFIX_LENGTH_MIX
+from repro.routes.ris_feed import (
+    FeedRoute,
+    RouteFeed,
+    churn_stream,
+    synthetic_full_table,
+)
+
+__all__ = [
+    "PrefixGenerator",
+    "PREFIX_LENGTH_MIX",
+    "FeedRoute",
+    "RouteFeed",
+    "churn_stream",
+    "synthetic_full_table",
+]

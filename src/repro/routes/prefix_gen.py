@@ -1,0 +1,77 @@
+"""Deterministic synthetic prefix generation.
+
+Prefixes are carved out of disjoint /22 blocks starting at 4.0.0.0, so any
+two generated prefixes are guaranteed not to overlap regardless of their
+length; the length of each prefix is drawn from a distribution approximating
+the public IPv4 table (dominated by /24s).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.net.addresses import AddressError, IPv4Address, IPv4Prefix
+from repro.sim.random import SeededRandom
+
+#: Approximate share of each prefix length in the global IPv4 table.
+PREFIX_LENGTH_MIX: Sequence[Tuple[int, float]] = (
+    (24, 0.58),
+    (23, 0.12),
+    (22, 0.14),
+    (21, 0.06),
+    (20, 0.06),
+    (19, 0.04),
+)
+
+_BLOCK_BITS = 10  # each prefix lives in its own /22 (1024 addresses)
+_BASE = IPv4Address("4.0.0.0").value
+_CEILING = IPv4Address("223.255.255.255").value
+
+
+class PrefixGenerator:
+    """Generates non-overlapping prefixes, deterministically per seed."""
+
+    def __init__(self, seed: int = 0, length_mix: Sequence[Tuple[int, float]] = PREFIX_LENGTH_MIX) -> None:
+        if not length_mix:
+            raise ValueError("length_mix must not be empty")
+        total = sum(weight for _, weight in length_mix)
+        if total <= 0:
+            raise ValueError("length_mix weights must sum to a positive value")
+        self._random = SeededRandom(seed)
+        self._lengths = [length for length, _ in length_mix]
+        self._cumulative: List[float] = []
+        running = 0.0
+        for _, weight in length_mix:
+            running += weight / total
+            self._cumulative.append(running)
+
+    def _pick_length(self) -> int:
+        roll = self._random.random()
+        for length, threshold in zip(self._lengths, self._cumulative):
+            if roll <= threshold:
+                return length
+        return self._lengths[-1]
+
+    def generate(self, count: int) -> List[IPv4Prefix]:
+        """Generate ``count`` distinct, non-overlapping prefixes."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        max_blocks = (_CEILING - _BASE) >> _BLOCK_BITS
+        if count > max_blocks:
+            raise AddressError(
+                f"cannot generate {count} prefixes; only {max_blocks} disjoint blocks available"
+            )
+        prefixes = []
+        for index in range(count):
+            block_start = _BASE + (index << _BLOCK_BITS)
+            length = self._pick_length()
+            # Lengths shorter than /22 would escape the block; clamp them so
+            # prefixes stay disjoint (the mix still skews towards /24).
+            length = max(length, 32 - _BLOCK_BITS)
+            prefixes.append(IPv4Prefix(IPv4Address(block_start), length))
+        return prefixes
+
+    def stream(self, count: int) -> Iterator[IPv4Prefix]:
+        """Generator variant of :meth:`generate`."""
+        for prefix in self.generate(count):
+            yield prefix

@@ -1,0 +1,119 @@
+"""Synthetic full-table BGP feeds and update churn streams.
+
+:func:`synthetic_full_table` produces the per-provider feed loaded into R2
+and R3 (same prefixes, provider-specific next hop and AS path head), and
+:func:`churn_stream` produces the "2 × 500 k updates from two different
+peers" workload used by the controller micro-benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.routes.prefix_gen import PrefixGenerator
+from repro.sim.random import SeededRandom
+
+
+@dataclass(frozen=True)
+class FeedRoute:
+    """One route of a synthetic feed (MRT-record-like view)."""
+
+    prefix: IPv4Prefix
+    as_path: AsPath
+    origin: Origin
+    med: int
+
+    def to_update(self, next_hop: IPv4Address) -> UpdateMessage:
+        """Convert to an UPDATE announced with the given next hop."""
+        attributes = PathAttributes(
+            next_hop=next_hop,
+            as_path=self.as_path,
+            origin=self.origin,
+            med=self.med,
+        )
+        return UpdateMessage.announce(self.prefix, attributes)
+
+
+@dataclass
+class RouteFeed:
+    """A full table: an ordered list of routes sharing a generation seed."""
+
+    routes: List[FeedRoute]
+    seed: int
+
+    def __len__(self) -> int:
+        return len(self.routes)
+
+    def updates(self, next_hop: IPv4Address) -> List[UpdateMessage]:
+        """All routes as UPDATEs with the provider's next hop."""
+        return [route.to_update(next_hop) for route in self.routes]
+
+    def prefixes(self) -> List[IPv4Prefix]:
+        """All prefixes in feed order."""
+        return [route.prefix for route in self.routes]
+
+
+def _random_as_path(random: SeededRandom, first_hop_asn: int) -> AsPath:
+    """A plausible AS path starting at the provider's ASN."""
+    length = random.randint(1, 5)
+    asns = [first_hop_asn]
+    for _ in range(length):
+        asns.append(random.randint(1000, 65000))
+    return AsPath(tuple(asns))
+
+
+def synthetic_full_table(
+    count: int,
+    seed: int = 0,
+    provider_asn: int = 65001,
+    prefixes: Optional[Sequence[IPv4Prefix]] = None,
+) -> RouteFeed:
+    """Generate a synthetic full table of ``count`` routes.
+
+    Passing the same ``prefixes`` (e.g. generated once) for two providers
+    reproduces the paper's setup where R2 and R3 advertise identical
+    prefix sets; only the AS paths and MEDs differ per provider seed.
+    """
+    random = SeededRandom(seed)
+    if prefixes is None:
+        prefixes = PrefixGenerator(seed=seed).generate(count)
+    elif len(prefixes) < count:
+        raise ValueError(f"need at least {count} prefixes, got {len(prefixes)}")
+    routes = []
+    for index in range(count):
+        routes.append(
+            FeedRoute(
+                prefix=prefixes[index],
+                as_path=_random_as_path(random, provider_asn),
+                origin=Origin.IGP if random.random() < 0.9 else Origin.INCOMPLETE,
+                med=random.randint(0, 10),
+            )
+        )
+    return RouteFeed(routes=routes, seed=seed)
+
+
+def churn_stream(
+    feed: RouteFeed,
+    next_hop: IPv4Address,
+    withdraw_fraction: float = 0.0,
+    seed: int = 1,
+) -> Iterator[UpdateMessage]:
+    """Yield the feed as a stream of UPDATEs, optionally mixing withdraws.
+
+    With ``withdraw_fraction > 0`` a corresponding share of prefixes is
+    first announced and later withdrawn, modelling route churn.
+    """
+    if not 0.0 <= withdraw_fraction <= 1.0:
+        raise ValueError(f"withdraw_fraction must be in [0, 1], got {withdraw_fraction}")
+    random = SeededRandom(seed)
+    withdraw_later: List[IPv4Prefix] = []
+    for route in feed.routes:
+        yield route.to_update(next_hop)
+        if withdraw_fraction > 0 and random.random() < withdraw_fraction:
+            withdraw_later.append(route.prefix)
+    for prefix in withdraw_later:
+        yield UpdateMessage.withdraw(prefix)

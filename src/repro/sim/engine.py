@@ -1,0 +1,228 @@
+"""Core discrete-event simulation engine.
+
+Time is a float number of **seconds** since the start of the simulation.
+Components schedule callbacks at absolute or relative times; the engine
+executes them in timestamp order (FIFO among equal timestamps).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid scheduling requests or a corrupted event queue."""
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, sequence)`` so that events scheduled for
+    the same instant run in the order they were scheduled (deterministic
+    FIFO tie-breaking, which matters for reproducibility).
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`Simulator.schedule`, used to cancel events."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: Event) -> None:
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Absolute simulation time at which the event fires."""
+        return self._event.time
+
+    @property
+    def name(self) -> str:
+        """Human-readable label given at scheduling time."""
+        return self._event.name
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether the event was cancelled before execution."""
+        return self._event.cancelled
+
+    def cancel(self) -> bool:
+        """Cancel the event.
+
+        Returns ``True`` if the event had not yet run nor been cancelled.
+        Cancelling an already-executed event is a harmless no-op returning
+        ``False``.
+        """
+        if self._event.cancelled:
+            return False
+        self._event.cancelled = True
+        return True
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically increasing clock.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the simulator-owned random source (``self.random``);
+        substrates that need randomness should draw from it so that an
+        entire experiment is reproducible from a single seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        # Imported lazily to avoid a circular import at package init time.
+        from repro.sim.random import SeededRandom
+
+        self._now = 0.0
+        self._queue: List[Event] = []
+        self._sequence = itertools.count()
+        self._executed = 0
+        self._running = False
+        self.random = SeededRandom(seed)
+        #: Free-form registry components may use to find each other by name.
+        self.registry: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Number of events executed so far (diagnostic counter)."""
+        return self._executed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for event in self._queue if not event.cancelled)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now.
+
+        ``delay`` must be non-negative and finite.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        if not math.isfinite(delay):
+            raise SimulationError(f"delay must be finite, got {delay}")
+        return self.schedule_at(self._now + delay, callback, name)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[[], None],
+        name: str = "",
+    ) -> EventHandle:
+        """Schedule ``callback`` at absolute simulation time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} which is before now ({self._now})"
+            )
+        if not math.isfinite(when):
+            raise SimulationError(f"time must be finite, got {when}")
+        event = Event(when, next(self._sequence), callback, name)
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def call_soon(self, callback: Callable[[], None], name: str = "") -> EventHandle:
+        """Schedule ``callback`` at the current instant (after pending same-time events)."""
+        return self.schedule(0.0, callback, name)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns ``True`` if an event was executed, ``False`` if the queue
+        was empty (cancelled events are skipped silently).
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self._executed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or ``max_events``.
+
+        Returns the simulation time when the run stopped.  When ``until`` is
+        given, the clock is advanced to exactly ``until`` even if the last
+        event fired earlier, mirroring how a wall clock would behave.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running (reentrant run())")
+        self._running = True
+        executed = 0
+        try:
+            while self._queue:
+                if max_events is not None and executed >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    break
+                if self.step():
+                    executed += 1
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
+        """Run for ``duration`` seconds of simulated time from now."""
+        if duration < 0:
+            raise SimulationError(f"duration must be non-negative, got {duration}")
+        return self.run(until=self._now + duration, max_events=max_events)
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next pending event, or ``None`` if idle."""
+        event = self._peek()
+        return event.time if event is not None else None
+
+    def reset(self) -> None:
+        """Drop all pending events and rewind the clock to zero."""
+        self._queue.clear()
+        self._now = 0.0
+        self._executed = 0

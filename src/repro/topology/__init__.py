@@ -1,0 +1,22 @@
+"""Evaluation topologies.
+
+:mod:`repro.topology.lab` rebuilds the paper's Figure 4 hardware lab in
+simulation: the router under test (R1), a primary and a backup provider
+(R2, R3), the OpenFlow switch interconnecting them, the traffic source and
+sink boards, and — in supercharged mode — the controller (or a redundant
+pair of controllers) attached to the switch.
+"""
+
+from repro.topology.lab import (
+    ConvergenceLab,
+    FailoverResult,
+    LabConfig,
+    build_convergence_lab,
+)
+
+__all__ = [
+    "ConvergenceLab",
+    "FailoverResult",
+    "LabConfig",
+    "build_convergence_lab",
+]

@@ -1,0 +1,59 @@
+"""Flow descriptions and per-flow statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.addresses import IPv4Address
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One monitored UDP flow."""
+
+    destination: IPv4Address
+    rate_pps: float = 1000.0
+    src_port: int = 10000
+    dst_port: int = 9
+    payload_bytes: int = 18
+
+    @property
+    def interval(self) -> float:
+        """Inter-packet interval in seconds."""
+        return 1.0 / self.rate_pps
+
+
+@dataclass
+class FlowStats:
+    """Arrival statistics of one flow at the sink."""
+
+    destination: IPv4Address
+    packets_received: int = 0
+    first_arrival: Optional[float] = None
+    last_arrival: Optional[float] = None
+    max_gap: float = 0.0
+    max_gap_start: Optional[float] = None
+    gaps: List[float] = field(default_factory=list)
+
+    def record(self, now: float) -> None:
+        """Record a packet arrival at simulated time ``now``."""
+        if self.first_arrival is None:
+            self.first_arrival = now
+        if self.last_arrival is not None:
+            gap = now - self.last_arrival
+            self.gaps.append(gap)
+            if gap > self.max_gap:
+                self.max_gap = gap
+                self.max_gap_start = self.last_arrival
+        self.last_arrival = now
+        self.packets_received += 1
+
+    def max_gap_excluding_interval(self, interval: float) -> float:
+        """The worst outage seen by the flow, net of the nominal spacing.
+
+        The FPGA methodology reports the maximum inter-packet delay; a flow
+        sending every ``interval`` seconds always has at least that much
+        between packets, so the outage component is ``max_gap - interval``.
+        """
+        return max(self.max_gap - interval, 0.0)

@@ -1,0 +1,268 @@
+"""Event-driven reachability measurement.
+
+:class:`PathTracer` walks the *current* forwarding state (router FIBs,
+switch flow tables, link states) from the traffic source towards a
+destination, exactly like a packet would be treated, but without generating
+packets.  :class:`ReachabilityMonitor` re-runs that walk for every
+monitored destination whenever a relevant piece of forwarding state
+changes and records the outage intervals, giving exact per-destination
+convergence times even for full-table experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.links import Port
+from repro.net.packets import EtherType, EthernetFrame, IpProtocol, IPv4Packet, UdpDatagram
+from repro.sim.engine import Simulator
+
+
+@dataclass(frozen=True)
+class TraceHop:
+    """One hop of a forwarding-state walk (diagnostics)."""
+
+    node: str
+    detail: str
+
+
+@dataclass
+class _DestinationState:
+    """Book-keeping for one monitored destination."""
+
+    destination: IPv4Address
+    prefix: Optional[IPv4Prefix]
+    reachable: Optional[bool] = None
+    down_since: Optional[float] = None
+    outages: List[Tuple[float, float]] = field(default_factory=list)
+
+
+class PathTracer:
+    """Walks forwarding state from a source port towards destinations."""
+
+    MAX_HOPS = 16
+
+    def __init__(
+        self,
+        node_by_port: Dict[int, object],
+        start_port: Port,
+        first_hop_mac: Callable[[], Optional[MacAddress]],
+    ) -> None:
+        """``node_by_port`` maps ``id(port)`` to the owning device;
+        ``first_hop_mac`` returns the gateway MAC the source would use."""
+        self._node_by_port = node_by_port
+        self._start_port = start_port
+        self._first_hop_mac = first_hop_mac
+
+    def trace(self, destination: IPv4Address) -> Tuple[bool, List[TraceHop]]:
+        """Whether a packet to ``destination`` would currently be delivered."""
+        hops: List[TraceHop] = []
+        dst_mac = self._first_hop_mac()
+        if dst_mac is None:
+            hops.append(TraceHop("source", "gateway unresolved"))
+            return False, hops
+        current_port = self._start_port
+        for _ in range(self.MAX_HOPS):
+            link = current_port.link
+            if link is None or not current_port.is_up:
+                hops.append(TraceHop(current_port.owner_name, "link down"))
+                return False, hops
+            ingress = link.peer_of(current_port)
+            node = self._node_by_port.get(id(ingress))
+            if node is None:
+                hops.append(TraceHop(ingress.owner_name, "unknown device"))
+                return False, hops
+            outcome = self._step(node, ingress, dst_mac, destination, hops)
+            if outcome is None:
+                return False, hops
+            if outcome == "delivered":
+                return True, hops
+            current_port, dst_mac = outcome
+        hops.append(TraceHop("trace", "hop limit exceeded"))
+        return False, hops
+
+    # ------------------------------------------------------------------
+    # Per-device stepping
+    # ------------------------------------------------------------------
+    def _step(
+        self,
+        node: object,
+        ingress: Port,
+        dst_mac: MacAddress,
+        destination: IPv4Address,
+        hops: List[TraceHop],
+    ):
+        from repro.openflow.switch import OpenFlowSwitch
+        from repro.router.router import Router
+        from repro.traffic.monitor import TrafficSink
+
+        if isinstance(node, OpenFlowSwitch):
+            return self._step_switch(node, ingress, dst_mac, destination, hops)
+        if isinstance(node, Router):
+            return self._step_router(node, ingress, dst_mac, destination, hops)
+        if isinstance(node, TrafficSink):
+            for interface in node.interfaces.values():
+                if interface.port is ingress and interface.mac == dst_mac:
+                    hops.append(TraceHop(node.name, "delivered"))
+                    return "delivered"
+            hops.append(TraceHop(node.name, "wrong MAC at sink"))
+            return None
+        hops.append(TraceHop(getattr(node, "name", "?"), "not a forwarding device"))
+        return None
+
+    def _step_switch(self, switch, ingress, dst_mac, destination, hops):
+        frame = _probe_frame(dst_mac, destination)
+        entry = None
+        for candidate in switch.flow_table.entries():
+            if candidate.match.matches(frame, ingress.number):
+                entry = candidate
+                break
+        if entry is None:
+            hops.append(TraceHop(switch.name, "table miss"))
+            return None
+        actions = entry.actions
+        if actions.is_drop or actions.to_controller:
+            hops.append(TraceHop(switch.name, "dropped/punted"))
+            return None
+        next_mac = actions.set_eth_dst if actions.set_eth_dst is not None else dst_mac
+        out_port = switch.ports().get(actions.output_port)
+        if out_port is None or not out_port.is_up:
+            hops.append(TraceHop(switch.name, f"output port {actions.output_port} down"))
+            return None
+        hops.append(TraceHop(switch.name, f"out port {actions.output_port}"))
+        return out_port, next_mac
+
+    def _step_router(self, router, ingress, dst_mac, destination, hops):
+        interface = router.interface_by_port(ingress)
+        if interface is None or interface.mac != dst_mac:
+            hops.append(TraceHop(router.name, "frame not addressed to router"))
+            return None
+        decision = router.forwarding_decision(destination)
+        if decision is None:
+            hops.append(TraceHop(router.name, "no route / unresolved adjacency"))
+            return None
+        out_interface, next_mac = decision
+        hops.append(TraceHop(router.name, f"via {out_interface.name} -> {next_mac}"))
+        return out_interface.port, next_mac
+
+
+def _probe_frame(dst_mac: MacAddress, destination: IPv4Address) -> EthernetFrame:
+    """A throwaway frame used only for flow-table matching."""
+    packet = IPv4Packet(
+        src=IPv4Address("0.0.0.1"),
+        dst=destination,
+        protocol=IpProtocol.UDP,
+        payload=UdpDatagram(src_port=0, dst_port=0),
+    )
+    return EthernetFrame(
+        src_mac=MacAddress(0x02_00_00_00_00_01),
+        dst_mac=dst_mac,
+        ethertype=EtherType.IPV4,
+        payload=packet,
+    )
+
+
+class ReachabilityMonitor:
+    """Tracks per-destination outages by re-evaluating the forwarding path
+    whenever forwarding state changes."""
+
+    def __init__(self, sim: Simulator, tracer: PathTracer) -> None:
+        self._sim = sim
+        self._tracer = tracer
+        self._destinations: Dict[IPv4Address, _DestinationState] = {}
+        self.evaluations = 0
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+    def watch(self, destination: IPv4Address, prefix: Optional[IPv4Prefix] = None) -> None:
+        """Start monitoring ``destination`` (covered by ``prefix`` if known)."""
+        if destination not in self._destinations:
+            self._destinations[destination] = _DestinationState(destination, prefix)
+
+    def monitored(self) -> List[IPv4Address]:
+        """All monitored destinations."""
+        return list(self._destinations.keys())
+
+    # ------------------------------------------------------------------
+    # Event notifications
+    # ------------------------------------------------------------------
+    def evaluate_all(self) -> None:
+        """(Re-)evaluate every monitored destination right now."""
+        for state in self._destinations.values():
+            self._evaluate(state)
+
+    def notify_forwarding_change(self) -> None:
+        """A global forwarding change happened (link state, switch rule…)."""
+        self.evaluate_all()
+
+    def notify_prefix_change(self, prefix: IPv4Prefix) -> None:
+        """A FIB entry for ``prefix`` changed: re-evaluate covered flows."""
+        for state in self._destinations.values():
+            if prefix.contains(state.destination):
+                self._evaluate(state)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def is_reachable(self, destination: IPv4Address) -> Optional[bool]:
+        """Last known reachability of ``destination``."""
+        state = self._destinations.get(destination)
+        return state.reachable if state is not None else None
+
+    def outages(self, destination: IPv4Address) -> List[Tuple[float, float]]:
+        """Closed outage intervals ``(down_at, up_at)`` for ``destination``."""
+        state = self._destinations.get(destination)
+        return list(state.outages) if state is not None else []
+
+    def open_outage_since(self, destination: IPv4Address) -> Optional[float]:
+        """Start of the ongoing outage, if the destination is currently down."""
+        state = self._destinations.get(destination)
+        if state is None or state.reachable is not False:
+            return None
+        return state.down_since
+
+    def convergence_times(self, failure_time: float) -> Dict[IPv4Address, float]:
+        """Per-destination outage duration for the failure at ``failure_time``.
+
+        Destinations that never went down after ``failure_time`` report 0;
+        destinations still down report the time elapsed so far.
+        """
+        results: Dict[IPv4Address, float] = {}
+        for destination, state in self._destinations.items():
+            duration = 0.0
+            for down_at, up_at in state.outages:
+                if up_at >= failure_time and down_at >= failure_time - 1e-9:
+                    duration = max(duration, up_at - down_at)
+            if state.reachable is False and state.down_since is not None:
+                if state.down_since >= failure_time - 1e-9:
+                    duration = max(duration, self._sim.now - state.down_since)
+            results[destination] = duration
+        return results
+
+    def reset(self) -> None:
+        """Forget recorded outages, keeping the monitored set and state."""
+        for state in self._destinations.values():
+            state.outages.clear()
+            state.down_since = state.down_since if state.reachable is False else None
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _evaluate(self, state: _DestinationState) -> None:
+        self.evaluations += 1
+        reachable, _hops = self._tracer.trace(state.destination)
+        now = self._sim.now
+        if state.reachable is None:
+            state.reachable = reachable
+            if not reachable:
+                state.down_since = now
+            return
+        if reachable and state.reachable is False:
+            state.outages.append((state.down_since if state.down_since is not None else now, now))
+            state.down_since = None
+        elif not reachable and state.reachable is True:
+            state.down_since = now
+        state.reachable = reachable

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator seeded deterministically."""
+    return Simulator(seed=42)
+
+
+@pytest.fixture
+def small_lab_pair():
+    """A converged (non-supercharged, supercharged) lab pair at tiny scale.
+
+    Building labs is comparatively expensive, so integration tests that only
+    need a converged lab share this module-scoped pair.
+    """
+    from repro.topology.lab import ConvergenceLab, LabConfig
+
+    labs = {}
+    for supercharged in (False, True):
+        simulator = Simulator(seed=7)
+        lab = ConvergenceLab(
+            simulator,
+            LabConfig(num_prefixes=60, supercharged=supercharged, monitored_flows=10),
+        ).build()
+        lab.start()
+        lab.load_feeds()
+        assert lab.wait_converged(timeout=600)
+        lab.setup_monitoring()
+        labs[supercharged] = lab
+    return labs

@@ -1,0 +1,155 @@
+"""Tests for MAC/IPv4 address and prefix types."""
+
+import pytest
+
+from repro.net.addresses import (
+    BROADCAST_MAC,
+    AddressError,
+    IPv4Address,
+    IPv4Prefix,
+    MacAddress,
+)
+
+
+class TestMacAddress:
+    def test_parse_and_format(self):
+        mac = MacAddress("00:1a:2b:3c:4d:5e")
+        assert str(mac) == "00:1a:2b:3c:4d:5e"
+
+    def test_dash_separator_accepted(self):
+        assert MacAddress("00-1a-2b-3c-4d-5e") == MacAddress("00:1a:2b:3c:4d:5e")
+
+    def test_from_int_roundtrip(self):
+        mac = MacAddress(0x0000DEADBEEF)
+        assert MacAddress(str(mac)) == mac
+
+    def test_invalid_string_rejected(self):
+        with pytest.raises(AddressError):
+            MacAddress("not-a-mac")
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            MacAddress(1 << 48)
+
+    def test_broadcast_detection(self):
+        assert BROADCAST_MAC.is_broadcast
+        assert not MacAddress(1).is_broadcast
+
+    def test_multicast_bit(self):
+        assert MacAddress("01:00:5e:00:00:01").is_multicast
+        assert not MacAddress("00:00:5e:00:00:01").is_multicast
+
+    def test_locally_administered_bit(self):
+        assert MacAddress("02:00:00:00:00:01").is_locally_administered
+        assert not MacAddress("00:00:00:00:00:01").is_locally_administered
+
+    def test_equality_and_hash(self):
+        assert MacAddress(5) == MacAddress(5)
+        assert hash(MacAddress(5)) == hash(MacAddress(5))
+        assert MacAddress(5) != MacAddress(6)
+
+    def test_ordering(self):
+        assert MacAddress(1) < MacAddress(2)
+
+    def test_copy_constructor(self):
+        original = MacAddress(42)
+        assert MacAddress(original) == original
+
+
+class TestIPv4Address:
+    def test_parse_and_format(self):
+        address = IPv4Address("192.168.1.200")
+        assert str(address) == "192.168.1.200"
+        assert address.value == (192 << 24) | (168 << 16) | (1 << 8) | 200
+
+    def test_invalid_octet_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address("300.1.1.1")
+
+    def test_wrong_part_count_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.0.0")
+
+    def test_leading_zero_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address("10.0.01.1")
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1 << 32)
+
+    def test_addition_wraps_within_space(self):
+        assert IPv4Address("10.0.0.255") + 1 == IPv4Address("10.0.1.0")
+
+    def test_ordering_and_hash(self):
+        assert IPv4Address("1.0.0.1") < IPv4Address("1.0.0.2")
+        assert hash(IPv4Address("1.0.0.1")) == hash(IPv4Address("1.0.0.1"))
+
+
+class TestIPv4Prefix:
+    def test_parse_slash_notation(self):
+        prefix = IPv4Prefix("10.1.2.3/24")
+        assert str(prefix) == "10.1.2.0/24"
+        assert prefix.length == 24
+
+    def test_network_is_masked(self):
+        assert IPv4Prefix("192.168.1.77/26").network == IPv4Address("192.168.1.64")
+
+    def test_missing_length_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix("10.0.0.0")
+
+    def test_invalid_length_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Prefix("10.0.0.0/33")
+
+    def test_contains_address(self):
+        prefix = IPv4Prefix("10.0.0.0/8")
+        assert prefix.contains(IPv4Address("10.200.3.4"))
+        assert not prefix.contains(IPv4Address("11.0.0.1"))
+
+    def test_contains_more_specific_prefix(self):
+        assert IPv4Prefix("10.0.0.0/8").contains(IPv4Prefix("10.1.0.0/16"))
+        assert not IPv4Prefix("10.1.0.0/16").contains(IPv4Prefix("10.0.0.0/8"))
+
+    def test_contains_string_forms(self):
+        prefix = IPv4Prefix("10.0.0.0/8")
+        assert prefix.contains("10.1.2.3")
+        assert prefix.contains("10.2.0.0/16")
+
+    def test_num_addresses_and_bounds(self):
+        prefix = IPv4Prefix("10.0.0.0/30")
+        assert prefix.num_addresses == 4
+        assert prefix.first_address == IPv4Address("10.0.0.0")
+        assert prefix.last_address == IPv4Address("10.0.0.3")
+
+    def test_hosts_iteration_with_limit(self):
+        prefix = IPv4Prefix("10.0.0.0/24")
+        hosts = list(prefix.hosts(limit=3))
+        assert hosts == [
+            IPv4Address("10.0.0.0"),
+            IPv4Address("10.0.0.1"),
+            IPv4Address("10.0.0.2"),
+        ]
+
+    def test_default_route(self):
+        default = IPv4Prefix("0.0.0.0/0")
+        assert default.contains(IPv4Address("200.1.2.3"))
+        assert default.num_addresses == 1 << 32
+
+    def test_mask_for(self):
+        assert IPv4Prefix.mask_for(0) == 0
+        assert IPv4Prefix.mask_for(32) == 0xFFFFFFFF
+        assert IPv4Prefix.mask_for(24) == 0xFFFFFF00
+
+    def test_equality_hash_ordering(self):
+        assert IPv4Prefix("10.0.0.0/24") == IPv4Prefix("10.0.0.1/24")
+        assert hash(IPv4Prefix("10.0.0.0/24")) == hash(IPv4Prefix("10.0.0.5/24"))
+        assert IPv4Prefix("10.0.0.0/24") < IPv4Prefix("10.0.1.0/24")
+
+    def test_as_tuple(self):
+        prefix = IPv4Prefix("10.0.0.0/24")
+        assert prefix.as_tuple() == (prefix.network.value, 24)
+
+    def test_netmask(self):
+        assert IPv4Prefix("10.0.0.0/25").netmask == IPv4Address("255.255.255.128")

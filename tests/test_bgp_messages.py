@@ -1,0 +1,75 @@
+"""Tests for BGP message types."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import (
+    KeepaliveMessage,
+    NotificationMessage,
+    OpenMessage,
+    UpdateMessage,
+    split_feed,
+)
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+
+def _attrs(next_hop="10.0.0.2"):
+    return PathAttributes(next_hop=IPv4Address(next_hop), as_path=AsPath((65001,)))
+
+
+def test_announce_and_withdraw_flags():
+    prefix = IPv4Prefix("1.0.0.0/24")
+    announce = UpdateMessage.announce(prefix, _attrs())
+    withdraw = UpdateMessage.withdraw(prefix)
+    assert announce.is_announcement and not announce.is_withdraw
+    assert withdraw.is_withdraw and not withdraw.is_announcement
+
+
+def test_rewritten_next_hop_preserves_other_attributes():
+    update = UpdateMessage.announce(IPv4Prefix("1.0.0.0/24"), _attrs())
+    rewritten = update.rewritten_next_hop(IPv4Address("10.0.0.200"))
+    assert rewritten.attributes.next_hop == IPv4Address("10.0.0.200")
+    assert rewritten.attributes.as_path == update.attributes.as_path
+    assert rewritten.prefix == update.prefix
+
+
+def test_rewriting_a_withdraw_is_an_error():
+    withdraw = UpdateMessage.withdraw(IPv4Prefix("1.0.0.0/24"))
+    with pytest.raises(ValueError):
+        withdraw.rewritten_next_hop(IPv4Address("10.0.0.200"))
+
+
+def test_message_ids_are_unique_and_increasing():
+    first = KeepaliveMessage()
+    second = KeepaliveMessage()
+    assert second.message_id > first.message_id
+
+
+def test_kind_labels():
+    assert OpenMessage(asn=1, router_id=IPv4Address("1.1.1.1")).kind == "open"
+    assert KeepaliveMessage().kind == "keepalive"
+    assert NotificationMessage(reason="bye").kind == "notification"
+    assert UpdateMessage.withdraw(IPv4Prefix("1.0.0.0/24")).kind == "update"
+
+
+def test_open_message_carries_identity():
+    message = OpenMessage(asn=65000, router_id=IPv4Address("10.0.0.1"), hold_time=30.0)
+    assert message.asn == 65000
+    assert message.router_id == IPv4Address("10.0.0.1")
+    assert message.hold_time == 30.0
+
+
+def test_split_feed_chunks_preserve_order():
+    updates = tuple(
+        UpdateMessage.announce(IPv4Prefix(f"10.{index}.0.0/24"), _attrs())
+        for index in range(10)
+    )
+    chunks = split_feed(updates, 3)
+    assert [len(chunk) for chunk in chunks] == [3, 3, 3, 1]
+    flattened = [update for chunk in chunks for update in chunk]
+    assert [u.prefix for u in flattened] == [u.prefix for u in updates]
+
+
+def test_split_feed_rejects_bad_chunk_size():
+    with pytest.raises(ValueError):
+        split_feed((), 0)

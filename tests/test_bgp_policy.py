@@ -1,0 +1,83 @@
+"""Tests for import/export policies."""
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.policy import ExportPolicy, ImportPolicy, RouteMap, RouteMapEntry
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+PREFIX = IPv4Prefix("1.0.0.0/24")
+OTHER = IPv4Prefix("9.9.0.0/16")
+
+
+def _attrs():
+    return PathAttributes(next_hop=IPv4Address("10.0.0.2"), as_path=AsPath((65001,)))
+
+
+class TestRouteMap:
+    def test_first_matching_entry_wins(self):
+        route_map = RouteMap(
+            entries=[
+                RouteMapEntry(match_prefixes=[PREFIX], set_local_pref=300),
+                RouteMapEntry(set_local_pref=50),
+            ]
+        )
+        assert route_map.evaluate(PREFIX, _attrs()).local_pref == 300
+        assert route_map.evaluate(OTHER, _attrs()).local_pref == 50
+
+    def test_no_match_accepts_unchanged(self):
+        route_map = RouteMap(entries=[RouteMapEntry(match_prefixes=[OTHER], deny=True)])
+        result = route_map.evaluate(PREFIX, _attrs())
+        assert result == _attrs()
+
+    def test_deny_entry_rejects(self):
+        route_map = RouteMap(entries=[RouteMapEntry(match_prefixes=[PREFIX], deny=True)])
+        assert route_map.evaluate(PREFIX, _attrs()) is None
+
+    def test_match_covers_more_specific_prefixes(self):
+        covering = IPv4Prefix("1.0.0.0/8")
+        entry = RouteMapEntry(match_prefixes=[covering], set_local_pref=250)
+        assert entry.matches(PREFIX)
+        assert not entry.matches(OTHER)
+
+    def test_set_med_and_prepend(self):
+        entry = RouteMapEntry(set_med=77, prepend_asn=65000, prepend_count=2)
+        result = entry.apply(_attrs())
+        assert result.med == 77
+        assert result.as_path.asns[:2] == (65000, 65000)
+
+    def test_add_returns_self_for_chaining(self):
+        route_map = RouteMap()
+        assert route_map.add(RouteMapEntry()) is route_map
+        assert len(route_map.entries) == 1
+
+
+class TestImportPolicy:
+    def test_default_accepts_unchanged(self):
+        assert ImportPolicy().apply(PREFIX, _attrs()) == _attrs()
+
+    def test_prefer_sets_local_pref(self):
+        policy = ImportPolicy.prefer(200)
+        assert policy.apply(PREFIX, _attrs()).local_pref == 200
+
+    def test_route_map_rejection(self):
+        policy = ImportPolicy(RouteMap(entries=[RouteMapEntry(deny=True)]))
+        assert policy.apply(PREFIX, _attrs()) is None
+
+
+class TestExportPolicy:
+    def test_default_accepts_unchanged(self):
+        assert ExportPolicy().apply(PREFIX, _attrs()) == _attrs()
+
+    def test_deny_all(self):
+        assert ExportPolicy.deny_all().apply(PREFIX, _attrs()) is None
+
+    def test_predicate_filters_prefixes(self):
+        policy = ExportPolicy(predicate=lambda prefix, attrs: prefix == PREFIX)
+        assert policy.apply(PREFIX, _attrs()) is not None
+        assert policy.apply(OTHER, _attrs()) is None
+
+    def test_route_map_applied_after_predicate(self):
+        policy = ExportPolicy(
+            route_map=RouteMap(entries=[RouteMapEntry(set_med=9)]),
+            predicate=lambda prefix, attrs: True,
+        )
+        assert policy.apply(PREFIX, _attrs()).med == 9

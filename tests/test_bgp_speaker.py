@@ -1,0 +1,214 @@
+"""Tests for the BGP speaker, wired pairwise through an in-process fabric."""
+
+import pytest
+
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.bgp.policy import ExportPolicy, ImportPolicy
+from repro.bgp.speaker import BgpSpeaker, PeerConfig
+from repro.net.addresses import IPv4Address, IPv4Prefix
+
+PREFIX = IPv4Prefix("1.0.0.0/24")
+
+
+class Fabric:
+    """Delivers BGP messages between speakers with a small delay."""
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.speakers = {}
+
+    def register(self, ip, speaker):
+        self.speakers[ip] = speaker
+
+    def transport_for(self, local_ip):
+        def transport(peer_ip, message):
+            def deliver():
+                peer = self.speakers.get(peer_ip)
+                if peer is not None:
+                    peer.deliver(local_ip, message)
+
+            self.sim.schedule(0.001, deliver)
+
+        return transport
+
+
+def _speaker(sim, fabric, ip, asn):
+    address = IPv4Address(ip)
+    speaker = BgpSpeaker(sim, asn=asn, router_id=address, transport=fabric.transport_for(address))
+    fabric.register(address, speaker)
+    return speaker
+
+
+def _attrs(next_hop, as_path=(65001,)):
+    return PathAttributes(next_hop=IPv4Address(next_hop), as_path=AsPath(as_path))
+
+
+@pytest.fixture
+def triangle(sim):
+    """R1 peering with two providers (the paper's setup, control plane only)."""
+    fabric = Fabric(sim)
+    r1 = _speaker(sim, fabric, "10.0.0.1", 65000)
+    r2 = _speaker(sim, fabric, "10.0.0.2", 65001)
+    r3 = _speaker(sim, fabric, "10.0.0.3", 65002)
+    r1.add_peer(PeerConfig(
+        peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001,
+        import_policy=ImportPolicy.prefer(200), advertise=False))
+    r1.add_peer(PeerConfig(
+        peer_ip=IPv4Address("10.0.0.3"), peer_asn=65002,
+        import_policy=ImportPolicy.prefer(100), advertise=False))
+    r2.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.1"), peer_asn=65000))
+    r3.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.1"), peer_asn=65000))
+    for speaker in (r1, r2, r3):
+        speaker.start()
+    sim.run(until=1.0)
+    return r1, r2, r3
+
+
+def test_sessions_establish(triangle, sim):
+    r1, r2, r3 = triangle
+    assert set(r1.established_peers()) == {IPv4Address("10.0.0.2"), IPv4Address("10.0.0.3")}
+    assert r2.established_peers() == [IPv4Address("10.0.0.1")]
+
+
+def test_originated_route_reaches_peer_and_locrib(triangle, sim):
+    r1, r2, r3 = triangle
+    r2.originate(PREFIX, _attrs("10.0.0.2"))
+    sim.run(until=2.0)
+    assert r1.loc_rib.best(PREFIX) is not None
+    assert r1.loc_rib.best(PREFIX).next_hop == IPv4Address("10.0.0.2")
+
+
+def test_import_policy_prefers_primary(triangle, sim):
+    r1, r2, r3 = triangle
+    r2.originate(PREFIX, _attrs("10.0.0.2"))
+    r3.originate(PREFIX, _attrs("10.0.0.3"))
+    sim.run(until=2.0)
+    ranking = r1.loc_rib.ranking(PREFIX)
+    assert len(ranking) == 2
+    assert ranking[0].source.peer_ip == IPv4Address("10.0.0.2")
+    assert ranking[1].source.peer_ip == IPv4Address("10.0.0.3")
+
+
+def test_as_path_prepended_on_ebgp_export(triangle, sim):
+    r1, r2, r3 = triangle
+    r2.originate(PREFIX, _attrs("10.0.0.2", as_path=(3356,)))
+    sim.run(until=2.0)
+    best = r1.loc_rib.best(PREFIX)
+    assert best.attributes.as_path.asns[0] == 65001
+    assert 3356 in best.attributes.as_path.asns
+
+
+def test_withdraw_removes_route(triangle, sim):
+    r1, r2, r3 = triangle
+    r2.originate(PREFIX, _attrs("10.0.0.2"))
+    sim.run(until=2.0)
+    r2.withdraw_origin(PREFIX)
+    sim.run(until=3.0)
+    assert r1.loc_rib.best(PREFIX) is None
+
+
+def test_peer_session_loss_flushes_routes(triangle, sim):
+    r1, r2, r3 = triangle
+    r2.originate(PREFIX, _attrs("10.0.0.2"))
+    r3.originate(PREFIX, _attrs("10.0.0.3"))
+    sim.run(until=2.0)
+    r1.peer_connection_lost(IPv4Address("10.0.0.2"), "test failure")
+    sim.run(until=2.1)
+    best = r1.loc_rib.best(PREFIX)
+    assert best is not None
+    assert best.source.peer_ip == IPv4Address("10.0.0.3")
+
+
+def test_rib_listener_sees_changes(triangle, sim):
+    r1, r2, r3 = triangle
+    changes = []
+    r1.on_rib_change(lambda change, peer: changes.append((change.prefix, peer)))
+    r2.originate(PREFIX, _attrs("10.0.0.2"))
+    sim.run(until=2.0)
+    assert (PREFIX, IPv4Address("10.0.0.2")) in changes
+
+
+def test_loop_prevention_drops_own_asn(triangle, sim):
+    r1, r2, r3 = triangle
+    # A route whose AS path already contains R1's ASN must be ignored.
+    r2.originate(PREFIX, _attrs("10.0.0.2", as_path=(65000, 3356)))
+    sim.run(until=2.0)
+    assert r1.loc_rib.best(PREFIX) is None
+
+
+def test_direct_advertise_and_withdraw_route(triangle, sim):
+    r1, r2, r3 = triangle
+    sent = r2.advertise_route(IPv4Address("10.0.0.1"), PREFIX, _attrs("10.0.0.2"))
+    assert sent is True
+    # Duplicate advertisement is suppressed by the Adj-RIB-Out.
+    assert r2.advertise_route(IPv4Address("10.0.0.1"), PREFIX, _attrs("10.0.0.2")) is False
+    sim.run(until=2.0)
+    assert r1.loc_rib.best(PREFIX) is not None
+    assert r2.withdraw_route(IPv4Address("10.0.0.1"), PREFIX) is True
+    sim.run(until=3.0)
+    assert r1.loc_rib.best(PREFIX) is None
+
+
+def test_auto_advertise_disabled_suppresses_propagation(sim):
+    fabric = Fabric(sim)
+    relay = _speaker(sim, fabric, "10.0.0.10", 64512)
+    left = _speaker(sim, fabric, "10.0.0.2", 65001)
+    right = _speaker(sim, fabric, "10.0.0.1", 65000)
+    relay.auto_advertise = False
+    relay.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001))
+    relay.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.1"), peer_asn=65000))
+    left.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.10"), peer_asn=64512))
+    right.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.10"), peer_asn=64512))
+    for speaker in (relay, left, right):
+        speaker.start()
+    sim.run(until=1.0)
+    left.originate(PREFIX, _attrs("10.0.0.2"))
+    sim.run(until=2.0)
+    assert relay.loc_rib.best(PREFIX) is not None
+    assert right.loc_rib.best(PREFIX) is None
+
+
+def test_export_policy_deny_all_blocks_advertisement(sim):
+    fabric = Fabric(sim)
+    a = _speaker(sim, fabric, "10.0.0.2", 65001)
+    b = _speaker(sim, fabric, "10.0.0.1", 65000)
+    a.add_peer(PeerConfig(
+        peer_ip=IPv4Address("10.0.0.1"), peer_asn=65000,
+        export_policy=ExportPolicy.deny_all()))
+    b.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001))
+    a.start()
+    b.start()
+    sim.run(until=1.0)
+    a.originate(PREFIX, _attrs("10.0.0.2"))
+    sim.run(until=2.0)
+    assert b.loc_rib.best(PREFIX) is None
+
+
+def test_duplicate_peer_rejected(sim):
+    fabric = Fabric(sim)
+    speaker = _speaker(sim, fabric, "10.0.0.1", 65000)
+    speaker.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001))
+    with pytest.raises(ValueError):
+        speaker.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001))
+
+
+def test_process_update_withdraw_of_unknown_prefix_is_none(triangle, sim):
+    r1, _r2, _r3 = triangle
+    result = r1.process_update(IPv4Address("10.0.0.2"), UpdateMessage.withdraw(PREFIX))
+    assert result is None
+
+
+def test_initial_table_transfer_on_late_session(sim):
+    fabric = Fabric(sim)
+    provider = _speaker(sim, fabric, "10.0.0.2", 65001)
+    customer = _speaker(sim, fabric, "10.0.0.1", 65000)
+    provider.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.1"), peer_asn=65000))
+    customer.add_peer(PeerConfig(peer_ip=IPv4Address("10.0.0.2"), peer_asn=65001, advertise=False))
+    # Originate before the session exists: the route must still be sent
+    # during the initial table transfer once the session establishes.
+    provider.originate(PREFIX, _attrs("10.0.0.2"))
+    provider.start()
+    customer.start()
+    sim.run(until=2.0)
+    assert customer.loc_rib.best(PREFIX) is not None

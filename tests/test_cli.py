@@ -1,0 +1,63 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_failover_command_prints_convergence(capsys):
+    code = main(["failover", "--prefixes", "40", "--flows", "5", "--supercharged"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "supercharged router" in output
+    assert "max convergence" in output
+
+
+def test_failover_standalone_mode(capsys):
+    code = main(["failover", "--prefixes", "40", "--flows", "5"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "standalone router" in output
+
+
+def test_figure5_command_small_sweep(capsys):
+    code = main([
+        "figure5", "--prefixes", "50", "--repetitions", "1", "--flows", "4",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "supercharged" in output and "standalone" in output
+    assert "paper max" in output
+
+
+def test_microbench_command(capsys):
+    code = main(["microbench", "--updates", "300"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "p99 processing time" in output
+
+
+def test_groups_command(capsys):
+    code = main(["groups", "--peers", "2", "3", "--prefixes", "200"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "n*(n-1) bound" in output
+
+
+def test_ablations_command(capsys):
+    code = main(["ablations", "--prefixes", "80", "--flows", "4"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "supercharged" in output
+    assert "flat-fib" in output
+
+
+def test_seed_is_a_global_option():
+    parser = build_parser()
+    arguments = parser.parse_args(["--seed", "7", "failover"])
+    assert arguments.seed == 7

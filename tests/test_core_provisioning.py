@@ -1,0 +1,287 @@
+"""Tests for the switch-side provisioning pieces: REST facade, flow
+provisioner, ARP responder and the Listing 2 convergence procedure."""
+
+import pytest
+
+from repro.core.arp_responder import VirtualArpResponder
+from repro.core.backup_groups import BackupGroup, BackupGroupManager
+from repro.core.convergence import DataPlaneConvergence
+from repro.core.flow_provisioner import FlowProvisioner, NextHopLocation
+from repro.core.rest_api import FloodlightRestApi, StaticFlowEntry
+from repro.core.vnh_allocator import VnhAllocator
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.packets import ArpOp, ArpPacket, EthernetFrame, EtherType
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.flow_table import FlowMatch
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketIn
+from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
+
+R2 = IPv4Address("10.0.0.2")
+R3 = IPv4Address("10.0.0.3")
+R2_MAC = MacAddress("00:00:00:00:00:02")
+R3_MAC = MacAddress("00:00:00:00:00:03")
+ROUTER_MAC = MacAddress("00:00:00:00:00:01")
+LOCATIONS = {
+    R2: NextHopLocation(mac=R2_MAC, switch_port=2),
+    R3: NextHopLocation(mac=R3_MAC, switch_port=3),
+}
+
+
+def _switch_with_channel(sim, flow_mod_latency=0.002):
+    switch = OpenFlowSwitch(sim, "sw", SwitchConfig(flow_mod_latency=flow_mod_latency))
+    channel = ControllerChannel(sim, latency=0.001)
+    switch.attach_controller(channel)
+    return switch, channel
+
+
+def _group(manager_pool="10.0.0.128/25"):
+    allocator = VnhAllocator(IPv4Prefix(manager_pool))
+    vnh, vmac = allocator.allocate()
+    return BackupGroup(key=(R2, R3), vnh=vnh, vmac=vmac)
+
+
+class TestFloodlightRestApi:
+    def test_push_installs_flow_after_latencies(self, sim):
+        switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel, call_latency=0.01)
+        entry = StaticFlowEntry("g1", eth_dst=MacAddress(0xFF), set_eth_dst=R2_MAC, output_port=2)
+        api.push(entry)
+        sim.run()
+        assert len(switch.flow_table) == 1
+        assert api.calls == 1
+        assert api.get("g1") == entry
+
+    def test_push_same_name_modifies_existing_rule(self, sim):
+        switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel)
+        vmac = MacAddress(0xFF)
+        api.push(StaticFlowEntry("g1", eth_dst=vmac, set_eth_dst=R2_MAC, output_port=2))
+        sim.run()
+        api.push(StaticFlowEntry("g1", eth_dst=vmac, set_eth_dst=R3_MAC, output_port=3))
+        sim.run()
+        assert len(switch.flow_table) == 1
+        entry = switch.flow_table.find(FlowMatch(eth_dst=vmac), 100)
+        assert entry.actions.set_eth_dst == R3_MAC
+        assert entry.actions.output_port == 3
+
+    def test_delete_removes_rule(self, sim):
+        switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel)
+        api.push(StaticFlowEntry("g1", eth_dst=MacAddress(0xFF), set_eth_dst=R2_MAC, output_port=2))
+        sim.run()
+        assert api.delete("g1") is True
+        assert api.delete("g1") is False
+        sim.run()
+        assert len(switch.flow_table) == 0
+
+    def test_list_reflects_current_entries(self, sim):
+        _switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel)
+        api.push(StaticFlowEntry("a", eth_dst=MacAddress(1), set_eth_dst=None, output_port=1))
+        api.push(StaticFlowEntry("b", eth_dst=MacAddress(2), set_eth_dst=None, output_port=2))
+        assert {entry.name for entry in api.list()} == {"a", "b"}
+
+    def test_negative_latency_rejected(self, sim):
+        _switch, channel = _switch_with_channel(sim)
+        with pytest.raises(ValueError):
+            FloodlightRestApi(sim, channel, call_latency=-1.0)
+
+
+class TestFlowProvisioner:
+    def _provisioner(self, sim):
+        switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel, call_latency=0.001)
+        provisioner = FlowProvisioner(api, LOCATIONS.get)
+        return switch, provisioner
+
+    def test_provision_group_points_at_primary(self, sim):
+        switch, provisioner = self._provisioner(sim)
+        group = _group()
+        assert provisioner.provision_group(group) is True
+        sim.run()
+        entry = switch.flow_table.find(FlowMatch(eth_dst=group.vmac), provisioner.priority)
+        assert entry.actions.set_eth_dst == R2_MAC
+        assert entry.actions.output_port == 2
+        assert provisioner.active_next_hop(group) == R2
+
+    def test_redirect_group_to_backup(self, sim):
+        switch, provisioner = self._provisioner(sim)
+        group = _group()
+        provisioner.provision_group(group)
+        sim.run()
+        assert provisioner.redirect_group(group, R3) is True
+        sim.run()
+        entry = switch.flow_table.find(FlowMatch(eth_dst=group.vmac), provisioner.priority)
+        assert entry.actions.set_eth_dst == R3_MAC
+        assert entry.actions.output_port == 3
+
+    def test_redirect_to_unknown_next_hop_fails(self, sim):
+        _switch, provisioner = self._provisioner(sim)
+        group = _group()
+        assert provisioner.redirect_group(group, IPv4Address("10.0.0.9")) is False
+
+    def test_duplicate_programming_suppressed(self, sim):
+        _switch, provisioner = self._provisioner(sim)
+        group = _group()
+        provisioner.provision_group(group)
+        provisioner.provision_group(group)
+        assert provisioner.rules_pushed == 1
+
+    def test_retire_group_removes_rule(self, sim):
+        switch, provisioner = self._provisioner(sim)
+        group = _group()
+        provisioner.provision_group(group)
+        sim.run()
+        assert provisioner.retire_group(group) is True
+        sim.run()
+        assert len(switch.flow_table) == 0
+
+
+class TestDataPlaneConvergence:
+    def _setup(self, sim):
+        switch, channel = _switch_with_channel(sim)
+        api = FloodlightRestApi(sim, channel, call_latency=0.001)
+        provisioner = FlowProvisioner(api, LOCATIONS.get)
+        allocator = VnhAllocator(IPv4Prefix("10.0.0.128/25"))
+        manager = BackupGroupManager(allocator)
+        convergence = DataPlaneConvergence(manager, provisioner)
+        return switch, provisioner, manager, convergence
+
+    def _populate(self, manager, provisioner):
+        """Create two groups: one protected by R3, one primary'd on R3."""
+        from repro.bgp.attributes import AsPath, PathAttributes
+        from repro.bgp.decision import rank_routes
+        from repro.bgp.rib import LocRib, Route, RouteSource
+
+        loc_rib = LocRib(rank_routes)
+
+        def route(prefix, peer, pref):
+            return Route(
+                prefix=prefix,
+                attributes=PathAttributes(next_hop=peer, as_path=AsPath((65001,)), local_pref=pref),
+                source=RouteSource(peer_ip=peer, peer_asn=65001, router_id=peer),
+            )
+
+        for prefix_text, primary, backup in (
+            ("1.0.0.0/24", R2, R3),
+            ("2.0.0.0/24", R3, R2),
+        ):
+            prefix = IPv4Prefix(prefix_text)
+            for peer, pref in ((primary, 200), (backup, 100)):
+                change = loc_rib.update(route(prefix, peer, pref))
+                for action in manager.process_change(change):
+                    if action.group is not None and action.kind.name == "GROUP_CREATED":
+                        provisioner.provision_group(action.group)
+
+    def test_listing2_redirects_only_affected_groups(self, sim):
+        switch, provisioner, manager, convergence = self._setup(sim)
+        self._populate(manager, provisioner)
+        sim.run()
+        event = convergence.peer_down(R2, now=sim.now)
+        sim.run()
+        assert event.groups_redirected == 1
+        assert event.groups_unprotected == 0
+        redirected = event.redirected_groups[0]
+        assert redirected.primary == R2
+        entry = switch.flow_table.find(FlowMatch(eth_dst=redirected.vmac), provisioner.priority)
+        assert entry.actions.set_eth_dst == R3_MAC
+        # The group whose primary is R3 must be untouched.
+        untouched = manager.groups_with_primary(R3)[0]
+        other_entry = switch.flow_table.find(FlowMatch(eth_dst=untouched.vmac), provisioner.priority)
+        assert other_entry.actions.set_eth_dst == R3_MAC
+
+    def test_flow_rewrites_bounded_by_peer_count(self, sim):
+        _switch, provisioner, manager, convergence = self._setup(sim)
+        self._populate(manager, provisioner)
+        before = provisioner.rules_pushed
+        convergence.peer_down(R2, now=0.0)
+        assert provisioner.rules_pushed - before <= len(LOCATIONS)
+
+    def test_peer_restored_points_back_to_primary(self, sim):
+        switch, provisioner, manager, convergence = self._setup(sim)
+        self._populate(manager, provisioner)
+        sim.run()
+        convergence.peer_down(R2, now=sim.now)
+        sim.run()
+        event = convergence.peer_restored(R2, now=sim.now)
+        sim.run()
+        assert event.groups_redirected == 1
+        group = manager.groups_with_primary(R2)[0]
+        entry = switch.flow_table.find(FlowMatch(eth_dst=group.vmac), provisioner.priority)
+        assert entry.actions.set_eth_dst == R2_MAC
+
+    def test_group_without_usable_backup_reported_unprotected(self, sim):
+        _switch, provisioner, manager, convergence = self._setup(sim)
+        allocator_group = BackupGroup(
+            key=(R2, R2), vnh=IPv4Address("10.0.0.140"), vmac=MacAddress(0x020000000099)
+        )
+        manager._groups[(R2, R2)] = allocator_group  # degenerate group
+        event = convergence.peer_down(R2, now=0.0)
+        assert event.groups_unprotected >= 1
+
+    def test_events_are_recorded(self, sim):
+        _switch, provisioner, manager, convergence = self._setup(sim)
+        self._populate(manager, provisioner)
+        convergence.peer_down(R2, now=1.0)
+        convergence.peer_restored(R2, now=2.0)
+        assert len(convergence.events) == 2
+        assert convergence.events[0].triggered_at == 1.0
+
+
+class TestVirtualArpResponder:
+    def _request(self, target_ip):
+        return ArpPacket(
+            op=ArpOp.REQUEST,
+            sender_mac=ROUTER_MAC,
+            sender_ip=IPv4Address("10.0.0.1"),
+            target_mac=MacAddress(0),
+            target_ip=target_ip,
+        )
+
+    def test_answers_registered_vnh(self):
+        responder = VirtualArpResponder()
+        vnh, vmac = IPv4Address("10.0.0.200"), MacAddress(0x02_00_5E_00_00_01)
+        responder.register(vnh, vmac)
+        reply = responder.reply_for(self._request(vnh))
+        assert reply is not None
+        assert reply.payload.sender_mac == vmac
+        assert reply.dst_mac == ROUTER_MAC
+        assert responder.requests_answered == 1
+
+    def test_ignores_unregistered_and_replies(self):
+        responder = VirtualArpResponder()
+        assert responder.reply_for(self._request(IPv4Address("10.0.0.201"))) is None
+        responder.register(IPv4Address("10.0.0.200"), MacAddress(1))
+        reply_packet = ArpPacket(
+            op=ArpOp.REPLY, sender_mac=ROUTER_MAC, sender_ip=IPv4Address("10.0.0.1"),
+            target_mac=MacAddress(1), target_ip=IPv4Address("10.0.0.200"))
+        assert responder.reply_for(reply_packet) is None
+
+    def test_unregister(self):
+        responder = VirtualArpResponder()
+        vnh = IPv4Address("10.0.0.200")
+        responder.register(vnh, MacAddress(1))
+        assert responder.unregister(vnh) is True
+        assert responder.unregister(vnh) is False
+        assert not responder.resolves(vnh)
+
+    def test_packet_in_mode_emits_packet_out(self, sim):
+        responder = VirtualArpResponder()
+        vnh, vmac = IPv4Address("10.0.0.200"), MacAddress(0x02_00_5E_00_00_01)
+        responder.register(vnh, vmac)
+        channel = ControllerChannel(sim, latency=0.001)
+        sent = []
+        channel.connect_switch(sent.append)
+        frame = EthernetFrame(ROUTER_MAC, MacAddress(MacAddress.MAX), EtherType.ARP,
+                              self._request(vnh))
+        handled = responder.handle_packet_in(PacketIn(frame=frame, in_port=1), channel)
+        sim.run()
+        assert handled is True
+        assert len(sent) == 1
+        assert sent[0].out_port == 1
+
+    def test_packet_in_with_non_arp_payload_ignored(self, sim):
+        responder = VirtualArpResponder()
+        channel = ControllerChannel(sim, latency=0.001)
+        frame = EthernetFrame(ROUTER_MAC, MacAddress(1), EtherType.IPV4, object())
+        assert responder.handle_packet_in(PacketIn(frame=frame, in_port=1), channel) is False

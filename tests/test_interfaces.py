@@ -1,0 +1,41 @@
+"""Tests for L3 interfaces."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.interfaces import Interface
+from repro.net.links import Link, Port
+
+
+def test_interface_covers_its_subnet():
+    interface = Interface(
+        "eth0", Port("r", 0), MacAddress(1), IPv4Address("10.0.0.1"), IPv4Prefix("10.0.0.0/24")
+    )
+    assert interface.covers(IPv4Address("10.0.0.55"))
+    assert not interface.covers(IPv4Address("10.0.1.55"))
+
+
+def test_unnumbered_interface_covers_nothing():
+    interface = Interface("eth0", Port("r", 0), MacAddress(1))
+    assert not interface.covers(IPv4Address("10.0.0.1"))
+    assert "unnumbered" in repr(interface)
+
+
+def test_ip_outside_subnet_rejected():
+    with pytest.raises(ValueError):
+        Interface(
+            "eth0", Port("r", 0), MacAddress(1),
+            IPv4Address("192.168.0.1"), IPv4Prefix("10.0.0.0/24"),
+        )
+
+
+def test_is_up_follows_link(sim):
+    port_a = Port("a", 0)
+    port_b = Port("b", 0)
+    interface = Interface("eth0", port_a, MacAddress(1), IPv4Address("10.0.0.1"),
+                          IPv4Prefix("10.0.0.0/24"))
+    assert not interface.is_up  # not wired yet
+    link = Link(sim, port_a, port_b)
+    assert interface.is_up
+    link.fail()
+    assert not interface.is_up

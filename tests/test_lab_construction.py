@@ -1,0 +1,144 @@
+"""Tests for the lab's construction details (wiring, addressing, rules)."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.openflow.flow_table import FlowMatch
+from repro.sim.engine import Simulator
+from repro.topology import lab as lab_module
+from repro.topology.lab import (
+    CONTROLLER_IP,
+    CORE_SUBNET,
+    R1_CORE_IP,
+    R1_CORE_MAC,
+    R2_CORE_IP,
+    R2_CORE_MAC,
+    R3_CORE_IP,
+    R3_CORE_MAC,
+    SWITCH_PORT_R1,
+    SWITCH_PORT_R2,
+    SWITCH_PORT_R3,
+    VNH_POOL,
+    ConvergenceLab,
+    FailoverResult,
+    LabConfig,
+)
+
+
+@pytest.fixture
+def built_lab():
+    sim = Simulator(seed=21)
+    return ConvergenceLab(sim, LabConfig(num_prefixes=10, supercharged=True,
+                                         monitored_flows=3)).build()
+
+
+def test_addressing_plan_is_consistent():
+    for address in (R1_CORE_IP, R2_CORE_IP, R3_CORE_IP, CONTROLLER_IP):
+        assert CORE_SUBNET.contains(address)
+    assert CORE_SUBNET.contains(VNH_POOL)
+    # The VNH pool must not contain any of the real device addresses.
+    for address in (R1_CORE_IP, R2_CORE_IP, R3_CORE_IP, CONTROLLER_IP):
+        assert not VNH_POOL.contains(address)
+
+
+def test_build_is_idempotent(built_lab):
+    switch = built_lab.switch
+    assert built_lab.build() is built_lab
+    assert built_lab.switch is switch
+
+
+def test_static_switch_rules_cover_all_devices(built_lab):
+    table = built_lab.switch.flow_table
+    expectations = {
+        R1_CORE_MAC: SWITCH_PORT_R1,
+        R2_CORE_MAC: SWITCH_PORT_R2,
+        R3_CORE_MAC: SWITCH_PORT_R3,
+    }
+    for mac, port in expectations.items():
+        entry = table.find(FlowMatch(eth_dst=mac), 50)
+        assert entry is not None
+        assert entry.actions.output_port == port
+
+
+def test_routers_have_core_and_edge_interfaces(built_lab):
+    assert set(built_lab.r1.interfaces) == {"core", "to-source"}
+    assert set(built_lab.r2.interfaces) == {"core", "to-sink"}
+    assert set(built_lab.r3.interfaces) == {"core", "to-sink"}
+    assert built_lab.r1.interfaces["core"].ip == R1_CORE_IP
+
+
+def test_primary_link_is_r2_switch_link(built_lab):
+    assert built_lab.primary_link is built_lab.links["r2-sw"]
+
+
+def test_non_supercharged_lab_has_no_controller():
+    sim = Simulator(seed=22)
+    lab = ConvergenceLab(sim, LabConfig(num_prefixes=10, supercharged=False)).build()
+    assert lab.controller is None
+    assert lab.cluster is None
+    assert lab.r1.bfd is not None  # R1 does its own failure detection
+
+
+def test_supercharged_r1_has_no_bfd(built_lab):
+    # In supercharged mode failure detection belongs to the controller.
+    assert built_lab.r1.bfd is None
+    assert built_lab.controller.bfd is not None
+
+
+def test_port_registry_covers_every_traced_device(built_lab):
+    registry = built_lab._port_registry()
+    owners = {getattr(node, "name", "?") for node in registry.values()}
+    assert {"R1", "R2", "R3", "sw1", "sink", "ctrl1"} <= owners
+
+
+def test_setup_monitoring_requires_feeds(built_lab):
+    with pytest.raises(RuntimeError):
+        built_lab.setup_monitoring()
+
+
+def test_measure_requires_monitoring_and_failure(built_lab):
+    with pytest.raises(RuntimeError):
+        built_lab.measure()
+
+
+def test_select_destinations_caps_at_prefix_count():
+    sim = Simulator(seed=23)
+    lab = ConvergenceLab(sim, LabConfig(num_prefixes=5, supercharged=False,
+                                        monitored_flows=50)).build()
+    lab.start()
+    lab.load_feeds()
+    lab.wait_converged(timeout=300)
+    lab.setup_monitoring()
+    assert len(lab.monitored_destinations) <= 5
+    assert len(set(lab.monitored_destinations)) == len(lab.monitored_destinations)
+
+
+def test_run_until_times_out_on_false_condition():
+    sim = Simulator(seed=24)
+    lab = ConvergenceLab(sim, LabConfig(num_prefixes=5)).build()
+    start = sim.now
+    assert lab.run_until(lambda: False, timeout=1.0) is False
+    assert sim.now == pytest.approx(start + 1.0)
+
+
+def test_failover_result_with_no_samples():
+    result = FailoverResult(
+        supercharged=True, num_prefixes=0, failure_time=0.0, convergence_times={}
+    )
+    assert result.max_convergence == 0.0
+    assert result.min_convergence == 0.0
+    assert result.samples == []
+
+
+def test_lab_config_defaults_match_paper_methodology():
+    config = LabConfig()
+    assert config.monitored_flows == 100
+    assert config.fib_updater.first_entry_latency == pytest.approx(0.375)
+    assert config.fib_updater.per_entry_latency == pytest.approx(0.000281)
+    # Detection + rule installation fits inside the paper's 150 ms envelope.
+    budget = (
+        config.bfd_interval * config.bfd_multiplier
+        + config.rest_latency
+        + config.switch.flow_mod_latency
+    )
+    assert budget < 0.15

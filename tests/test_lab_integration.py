@@ -1,0 +1,136 @@
+"""End-to-end lab tests: the paper's headline behaviours at small scale."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.router.fib_updater import FibUpdaterConfig
+from repro.sim.engine import Simulator
+from repro.topology.lab import (
+    R2_CORE_IP,
+    R3_CORE_IP,
+    ConvergenceLab,
+    FailoverResult,
+    LabConfig,
+    build_convergence_lab,
+)
+
+
+def _converged_lab(num_prefixes, supercharged, **overrides):
+    sim = Simulator(seed=13)
+    lab = ConvergenceLab(sim, LabConfig(
+        num_prefixes=num_prefixes, supercharged=supercharged,
+        monitored_flows=overrides.pop("monitored_flows", 10), **overrides)).build()
+    lab.start()
+    lab.load_feeds()
+    assert lab.wait_converged(timeout=3600)
+    lab.setup_monitoring()
+    return lab
+
+
+def test_build_convergence_lab_helper():
+    sim = Simulator(seed=1)
+    lab = build_convergence_lab(sim, num_prefixes=20, supercharged=True, monitored_flows=4)
+    assert lab.config.num_prefixes == 20
+    assert lab.switch is not None
+    assert lab.controller is not None
+
+
+def test_non_supercharged_prefers_primary_before_failure():
+    lab = _converged_lab(40, supercharged=False)
+    for entry in lab.r1.fib.entries():
+        assert entry.adjacency.next_hop_ip == R2_CORE_IP
+
+
+def test_non_supercharged_convergence_grows_with_prefix_count():
+    small = _converged_lab(100, supercharged=False).run_single_failover()
+    large = _converged_lab(400, supercharged=False).run_single_failover()
+    assert large.max_convergence > small.max_convergence
+    # With the default 0.281 ms/entry the difference must be roughly
+    # 300 entries worth of FIB writes.
+    expected_delta = 300 * 0.000281
+    assert large.max_convergence - small.max_convergence == pytest.approx(
+        expected_delta, rel=0.5
+    )
+
+
+def test_supercharged_convergence_is_prefix_independent():
+    small = _converged_lab(100, supercharged=True).run_single_failover()
+    large = _converged_lab(400, supercharged=True).run_single_failover()
+    assert small.max_convergence < 0.2
+    assert large.max_convergence < 0.2
+    assert abs(large.max_convergence - small.max_convergence) < 0.05
+
+
+def test_supercharged_beats_non_supercharged_at_same_scale():
+    standalone = _converged_lab(200, supercharged=False).run_single_failover()
+    supercharged = _converged_lab(200, supercharged=True).run_single_failover()
+    assert supercharged.max_convergence < standalone.min_convergence
+    assert standalone.max_convergence / supercharged.max_convergence > 3
+
+
+def test_after_failover_traffic_flows_via_backup():
+    lab = _converged_lab(50, supercharged=False)
+    lab.run_single_failover()
+    for entry in lab.r1.fib.entries():
+        assert entry.adjacency.next_hop_ip == R3_CORE_IP
+
+
+def test_repeated_failovers_are_consistent():
+    lab = _converged_lab(60, supercharged=True)
+    results = []
+    for repetition in range(3):
+        if repetition:
+            assert lab.restore_primary()
+        results.append(lab.run_single_failover())
+    maxima = [result.max_convergence for result in results]
+    assert all(value < 0.2 for value in maxima)
+    assert max(maxima) - min(maxima) < 0.1
+
+
+def test_failover_result_accessors():
+    lab = _converged_lab(30, supercharged=True, monitored_flows=6)
+    result = lab.run_single_failover()
+    assert isinstance(result, FailoverResult)
+    assert result.num_prefixes == 30
+    assert len(result.samples) == len(lab.monitored_destinations)
+    assert result.max_convergence_ms == pytest.approx(result.max_convergence * 1e3)
+    assert result.min_convergence <= result.max_convergence
+
+
+def test_monitored_destinations_include_first_and_last_prefix():
+    lab = _converged_lab(30, supercharged=False, monitored_flows=5)
+    prefixes = lab.feed_r2.prefixes()
+    first_dest = IPv4Address(prefixes[0].network.value + 1)
+    last_dest = IPv4Address(prefixes[-1].network.value + 1)
+    assert first_dest in lab.monitored_destinations
+    assert last_dest in lab.monitored_destinations
+
+
+def test_run_failover_convenience_wrapper():
+    sim = Simulator(seed=2)
+    lab = build_convergence_lab(sim, num_prefixes=25, supercharged=True, monitored_flows=5)
+    result = lab.run_failover()
+    assert result.max_convergence < 0.5
+
+
+def test_custom_fib_updater_configuration_slows_standalone_convergence():
+    slow = FibUpdaterConfig(first_entry_latency=0.5, per_entry_latency=0.002)
+    lab = _converged_lab(100, supercharged=False, fib_updater=slow)
+    result = lab.run_single_failover()
+    assert result.max_convergence > 0.5 + 100 * 0.002 * 0.5
+
+
+def test_hierarchical_fib_converges_fast_without_sdn():
+    lab = _converged_lab(150, supercharged=False, hierarchical_fib=True)
+    result = lab.run_single_failover()
+    # PIC repoints a single shared adjacency: convergence is dominated by
+    # BFD detection, far below the flat FIB's serial rewrite.
+    assert result.max_convergence < 0.2
+
+
+def test_detection_time_reported_for_both_modes():
+    for supercharged in (False, True):
+        lab = _converged_lab(30, supercharged=supercharged, monitored_flows=4)
+        result = lab.run_single_failover()
+        assert result.detection_time is not None
+        assert 0 < result.detection_time < 0.5

@@ -1,0 +1,305 @@
+"""Tests for the flow table, switch data plane and controller channel."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address, MacAddress
+from repro.net.links import Link, Port
+from repro.net.packets import EtherType, EthernetFrame, IpProtocol, IPv4Packet, UdpDatagram
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.flow_table import (
+    CONTROLLER_PORT,
+    Actions,
+    FlowEntry,
+    FlowMatch,
+    FlowTable,
+    FlowTableError,
+)
+from repro.openflow.messages import (
+    FlowMod,
+    FlowModCommand,
+    PacketIn,
+    PacketOut,
+    PortStatus,
+    PortStatusReason,
+)
+from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
+
+MAC_1 = MacAddress("00:00:00:00:00:01")
+MAC_2 = MacAddress("00:00:00:00:00:02")
+VMAC = MacAddress("02:00:5e:00:00:01")
+
+
+def _frame(dst_mac=MAC_2, ethertype=EtherType.IPV4):
+    packet = IPv4Packet(
+        src=IPv4Address("10.0.0.1"),
+        dst=IPv4Address("1.0.0.1"),
+        protocol=IpProtocol.UDP,
+        payload=UdpDatagram(src_port=1, dst_port=2),
+    )
+    return EthernetFrame(MAC_1, dst_mac, ethertype, packet)
+
+
+class TestFlowTable:
+    def test_priority_ordering(self):
+        table = FlowTable()
+        low = FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=1), priority=10)
+        high = FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=2), priority=200)
+        table.install(low)
+        table.install(high)
+        entry = table.lookup(_frame(), in_port=5)
+        assert entry.actions.output_port == 2
+
+    def test_wildcard_match(self):
+        table = FlowTable()
+        table.install(FlowEntry(FlowMatch(), Actions(output_port=3), priority=1))
+        assert table.lookup(_frame(), in_port=9).actions.output_port == 3
+
+    def test_match_on_in_port_and_ethertype(self):
+        match = FlowMatch(in_port=4, eth_type=EtherType.IPV4)
+        assert match.matches(_frame(), in_port=4)
+        assert not match.matches(_frame(), in_port=5)
+        assert not match.matches(_frame(ethertype=EtherType.ARP), in_port=4)
+
+    def test_install_replaces_same_match_and_priority(self):
+        table = FlowTable()
+        match = FlowMatch(eth_dst=VMAC)
+        table.install(FlowEntry(match, Actions(output_port=1), priority=100))
+        table.install(FlowEntry(match, Actions(output_port=2), priority=100))
+        assert len(table) == 1
+        assert table.lookup(_frame(dst_mac=VMAC), in_port=1).actions.output_port == 2
+
+    def test_modify_existing_entry(self):
+        table = FlowTable()
+        match = FlowMatch(eth_dst=VMAC)
+        table.install(FlowEntry(match, Actions(set_eth_dst=MAC_2, output_port=2), priority=100))
+        assert table.modify(match, 100, Actions(set_eth_dst=MAC_1, output_port=3)) is True
+        entry = table.lookup(_frame(dst_mac=VMAC), in_port=1)
+        assert entry.actions.output_port == 3
+        assert table.modify(FlowMatch(eth_dst=MAC_1), 100, Actions()) is False
+
+    def test_remove_by_match(self):
+        table = FlowTable()
+        match = FlowMatch(eth_dst=VMAC)
+        table.install(FlowEntry(match, Actions(output_port=1), priority=100))
+        assert table.remove(match) == 1
+        assert table.remove(match) == 0
+
+    def test_capacity_enforced(self):
+        table = FlowTable(capacity=2)
+        table.install(FlowEntry(FlowMatch(eth_dst=MAC_1), Actions(output_port=1)))
+        table.install(FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=1)))
+        with pytest.raises(FlowTableError):
+            table.install(FlowEntry(FlowMatch(eth_dst=VMAC), Actions(output_port=1)))
+
+    def test_stats_counters(self):
+        table = FlowTable()
+        entry = FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=1))
+        table.install(entry)
+        table.lookup(_frame(), in_port=1)
+        table.lookup(_frame(), in_port=1)
+        stats = table.stats(entry)
+        assert stats.packets == 2
+        assert stats.bytes == 2 * _frame().size_bytes
+
+    def test_stats_of_unknown_entry_rejected(self):
+        table = FlowTable()
+        entry = FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=1))
+        with pytest.raises(FlowTableError):
+            table.stats(entry)
+
+    def test_actions_apply_rewrites(self):
+        actions = Actions(set_eth_dst=MAC_1, set_eth_src=MAC_2, output_port=1)
+        rewritten = actions.apply(_frame())
+        assert rewritten.dst_mac == MAC_1
+        assert rewritten.src_mac == MAC_2
+
+    def test_drop_and_controller_flags(self):
+        assert Actions().is_drop
+        assert Actions(output_port=CONTROLLER_PORT).to_controller
+
+    def test_specificity(self):
+        assert FlowMatch().specificity == 0
+        assert FlowMatch(eth_dst=MAC_1, in_port=2).specificity == 2
+
+
+class TestControllerChannel:
+    def test_flow_mod_delivery_with_latency(self, sim):
+        channel = ControllerChannel(sim, latency=0.01)
+        received = []
+        channel.connect_switch(lambda message: received.append((sim.now, message)))
+        flow_mod = FlowMod(FlowModCommand.ADD, FlowMatch(eth_dst=VMAC), Actions(output_port=1))
+        channel.send_flow_mod(flow_mod)
+        sim.run()
+        assert received[0][0] == pytest.approx(0.01)
+        assert received[0][1] is flow_mod
+
+    def test_packet_in_fans_out_to_all_controllers(self, sim):
+        channel = ControllerChannel(sim)
+        seen_a, seen_b = [], []
+        channel.connect_controller(seen_a.append)
+        channel.connect_controller(seen_b.append)
+        channel.send_packet_in(PacketIn(frame=_frame(), in_port=1))
+        sim.run()
+        assert len(seen_a) == 1 and len(seen_b) == 1
+
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(ValueError):
+            ControllerChannel(sim, latency=-0.1)
+
+
+class TestSwitch:
+    def _switch_with_hosts(self, sim, config=None):
+        switch = OpenFlowSwitch(sim, "sw", config or SwitchConfig())
+        received = {1: [], 2: []}
+        host_ports = {}
+        for number in (1, 2):
+            host_port = Port(f"host{number}", 0)
+            host_port.set_frame_handler(
+                lambda frame, port, n=number: received[n].append(frame)
+            )
+            Link(sim, host_port, switch.add_port(number), latency=0.0001)
+            host_ports[number] = host_port
+        return switch, host_ports, received
+
+    def test_forwarding_follows_flow_rule(self, sim):
+        switch, hosts, received = self._switch_with_hosts(sim)
+        switch.flow_table.install(
+            FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=2), priority=100)
+        )
+        hosts[1].send(_frame())
+        sim.run()
+        assert len(received[2]) == 1
+        assert switch.frames_forwarded == 1
+
+    def test_mac_rewrite_applied_before_output(self, sim):
+        switch, hosts, received = self._switch_with_hosts(sim)
+        switch.flow_table.install(
+            FlowEntry(
+                FlowMatch(eth_dst=VMAC),
+                Actions(set_eth_dst=MAC_2, output_port=2),
+                priority=200,
+            )
+        )
+        hosts[1].send(_frame(dst_mac=VMAC))
+        sim.run()
+        assert received[2][0].dst_mac == MAC_2
+
+    def test_table_miss_drop(self, sim):
+        switch, hosts, received = self._switch_with_hosts(
+            sim, SwitchConfig(table_miss="drop")
+        )
+        hosts[1].send(_frame())
+        sim.run()
+        assert received[2] == []
+        assert switch.frames_dropped == 1
+
+    def test_table_miss_flood_excludes_ingress(self, sim):
+        switch, hosts, received = self._switch_with_hosts(
+            sim, SwitchConfig(table_miss="flood")
+        )
+        hosts[1].send(_frame())
+        sim.run()
+        assert len(received[2]) == 1
+        assert received[1] == []
+
+    def test_table_miss_controller_punts(self, sim):
+        switch, hosts, _received = self._switch_with_hosts(
+            sim, SwitchConfig(table_miss="controller")
+        )
+        channel = ControllerChannel(sim, latency=0.001)
+        punted = []
+        channel.connect_controller(punted.append)
+        switch.attach_controller(channel)
+        hosts[1].send(_frame())
+        sim.run()
+        assert len(punted) == 1
+        assert isinstance(punted[0], PacketIn)
+        assert punted[0].in_port == 1
+
+    def test_flow_mod_add_takes_install_latency(self, sim):
+        switch, hosts, received = self._switch_with_hosts(
+            sim, SwitchConfig(flow_mod_latency=0.5)
+        )
+        channel = ControllerChannel(sim, latency=0.001)
+        switch.attach_controller(channel)
+        channel.send_flow_mod(
+            FlowMod(FlowModCommand.ADD, FlowMatch(eth_dst=MAC_2), Actions(output_port=2))
+        )
+        sim.run(until=0.4)
+        assert len(switch.flow_table) == 0
+        sim.run(until=1.0)
+        assert len(switch.flow_table) == 1
+
+    def test_flow_mod_modify_of_missing_entry_adds_it(self, sim):
+        switch, _hosts, _received = self._switch_with_hosts(sim)
+        channel = ControllerChannel(sim, latency=0.001)
+        switch.attach_controller(channel)
+        channel.send_flow_mod(
+            FlowMod(FlowModCommand.MODIFY, FlowMatch(eth_dst=VMAC), Actions(output_port=2))
+        )
+        sim.run()
+        assert len(switch.flow_table) == 1
+
+    def test_flow_mod_delete(self, sim):
+        switch, _hosts, _received = self._switch_with_hosts(sim)
+        switch.flow_table.install(
+            FlowEntry(FlowMatch(eth_dst=VMAC), Actions(output_port=2), priority=100)
+        )
+        channel = ControllerChannel(sim, latency=0.001)
+        switch.attach_controller(channel)
+        channel.send_flow_mod(FlowMod(FlowModCommand.DELETE, FlowMatch(eth_dst=VMAC), priority=100))
+        sim.run()
+        assert len(switch.flow_table) == 0
+
+    def test_packet_out_injected_into_data_plane(self, sim):
+        switch, _hosts, received = self._switch_with_hosts(sim)
+        channel = ControllerChannel(sim, latency=0.001)
+        switch.attach_controller(channel)
+        channel.send_packet_out(PacketOut(frame=_frame(), out_port=2))
+        sim.run()
+        assert len(received[2]) == 1
+
+    def test_port_status_on_link_failure(self, sim):
+        switch, hosts, _received = self._switch_with_hosts(sim)
+        channel = ControllerChannel(sim, latency=0.001)
+        notifications = []
+        channel.connect_controller(notifications.append)
+        switch.attach_controller(channel)
+        hosts[1].link.fail()
+        sim.run()
+        statuses = [n for n in notifications if isinstance(n, PortStatus)]
+        assert statuses and statuses[0].port == 1
+        assert statuses[0].reason is PortStatusReason.LINK_DOWN
+
+    def test_output_to_down_port_drops(self, sim):
+        switch, hosts, received = self._switch_with_hosts(sim)
+        switch.flow_table.install(
+            FlowEntry(FlowMatch(eth_dst=MAC_2), Actions(output_port=2), priority=100)
+        )
+        hosts[2].link.fail()
+        hosts[1].send(_frame())
+        sim.run()
+        assert received[2] == []
+        assert switch.frames_dropped == 1
+
+    def test_flow_mod_applied_listener(self, sim):
+        switch, _hosts, _received = self._switch_with_hosts(sim)
+        channel = ControllerChannel(sim, latency=0.001)
+        switch.attach_controller(channel)
+        applied = []
+        switch.on_flow_mod_applied(applied.append)
+        channel.send_flow_mod(
+            FlowMod(FlowModCommand.ADD, FlowMatch(eth_dst=MAC_2), Actions(output_port=2))
+        )
+        sim.run()
+        assert len(applied) == 1
+
+    def test_invalid_table_miss_policy_rejected(self, sim):
+        with pytest.raises(ValueError):
+            OpenFlowSwitch(sim, "bad", SwitchConfig(table_miss="teleport"))
+
+    def test_duplicate_port_number_rejected(self, sim):
+        switch = OpenFlowSwitch(sim, "sw")
+        switch.add_port(1)
+        with pytest.raises(ValueError):
+            switch.add_port(1)

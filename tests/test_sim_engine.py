@@ -1,0 +1,164 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+
+
+def test_clock_starts_at_zero(sim):
+    assert sim.now == 0.0
+
+
+def test_schedule_and_run_advances_clock(sim):
+    fired = []
+    sim.schedule(1.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.5]
+    assert sim.now == 1.5
+
+
+def test_events_run_in_time_order(sim):
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_run_fifo(sim):
+    order = []
+    for label in range(5):
+        sim.schedule(1.0, lambda value=label: order.append(value))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_negative_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_infinite_delay_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.schedule(float("inf"), lambda: None)
+
+
+def test_schedule_at_in_the_past_rejected(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_execution(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    assert handle.cancel() is True
+    sim.run()
+    assert fired == []
+    assert handle.cancelled
+
+
+def test_cancel_twice_returns_false(sim):
+    handle = sim.schedule(1.0, lambda: None)
+    assert handle.cancel() is True
+    assert handle.cancel() is False
+
+
+def test_run_until_stops_before_later_events(sim):
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(5.0, lambda: fired.append("late"))
+    sim.run(until=2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == ["early", "late"]
+
+
+def test_run_for_advances_relative_duration(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run_for(0.25)
+    assert sim.now == 0.25
+    sim.run_for(1.0)
+    assert sim.now == 1.25
+
+
+def test_run_for_negative_duration_rejected(sim):
+    with pytest.raises(SimulationError):
+        sim.run_for(-1.0)
+
+
+def test_max_events_limits_execution(sim):
+    fired = []
+    for index in range(10):
+        sim.schedule(index * 0.1, lambda value=index: fired.append(value))
+    sim.run(max_events=3)
+    assert fired == [0, 1, 2]
+
+
+def test_events_scheduled_during_execution_run(sim):
+    order = []
+
+    def outer():
+        order.append("outer")
+        sim.schedule(0.5, lambda: order.append("inner"))
+
+    sim.schedule(1.0, outer)
+    sim.run()
+    assert order == ["outer", "inner"]
+    assert sim.now == 1.5
+
+
+def test_call_soon_runs_at_current_time(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired = []
+    sim.call_soon(lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_pending_and_executed_counters(sim):
+    sim.schedule(1.0, lambda: None)
+    handle = sim.schedule(2.0, lambda: None)
+    assert sim.pending_events == 2
+    handle.cancel()
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.events_executed == 1
+
+
+def test_next_event_time(sim):
+    assert sim.next_event_time() is None
+    sim.schedule(3.0, lambda: None)
+    assert sim.next_event_time() == 3.0
+
+
+def test_reset_clears_queue_and_clock(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    sim.schedule(1.0, lambda: None)
+    sim.reset()
+    assert sim.now == 0.0
+    assert sim.pending_events == 0
+
+
+def test_step_returns_false_on_empty_queue(sim):
+    assert sim.step() is False
+
+
+def test_reentrant_run_rejected(sim):
+    def inner():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(0.1, inner)
+    sim.run()
+
+
+def test_handle_exposes_time_and_name(sim):
+    handle = sim.schedule(2.5, lambda: None, name="probe")
+    assert handle.time == 2.5
+    assert handle.name == "probe"
