@@ -1,0 +1,77 @@
+"""Benchmark: campaign-runner throughput, single-process vs. worker pool.
+
+Expands a small provider x failure grid over the Figure-4 base scenario
+and runs it through :class:`repro.scenarios.campaign.CampaignRunner`, once
+in-process and once on a ``multiprocessing`` pool.  The timing numbers
+measure end-to-end campaign wall time; scenarios/sec and the (seed-stable)
+convergence aggregate are attached to ``extra_info`` and printed as a JSON
+report, like the other benches.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from benchmarks.conftest import record_report
+from repro.scenarios import CampaignRunner, expand_grid, get_preset
+
+WORKER_COUNTS = (1, 4)
+_RESULTS = {}
+
+
+def _campaign_specs():
+    base = get_preset("figure4", seed=1, monitored_flows=4, num_prefixes=60)
+    return expand_grid(
+        base,
+        {"num_providers": [2, 3], "failure": ["link_down", "link_flap"]},
+    )
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS, ids=lambda w: f"{w}w")
+def test_campaign_throughput(benchmark, workers):
+    """One full campaign at the given pool size."""
+    specs = _campaign_specs()
+
+    def run_campaign():
+        return CampaignRunner(specs, workers=workers).run()
+
+    result = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    _RESULTS[workers] = result
+    aggregate = result.aggregate()
+    benchmark.extra_info["workers"] = workers
+    benchmark.extra_info["scenarios"] = aggregate["scenarios"]
+    benchmark.extra_info["throughput_scenarios_per_s"] = round(result.throughput, 3)
+    benchmark.extra_info["worst_max_ms"] = aggregate["worst_max_ms"]
+    assert aggregate["all_converged"] and aggregate["all_recovered"]
+
+
+def test_campaign_report(benchmark):
+    """Determinism across pool sizes + the JSON throughput report."""
+
+    def build_report():
+        rows = []
+        for workers in WORKER_COUNTS:
+            result = _RESULTS.get(workers)
+            if result is None:
+                result = CampaignRunner(_campaign_specs(), workers=workers).run()
+                _RESULTS[workers] = result
+            rows.append(
+                {
+                    "workers": workers,
+                    "scenarios": len(result.scenarios),
+                    "wall_seconds": round(result.wall_seconds, 3),
+                    "throughput_scenarios_per_s": round(result.throughput, 3),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(build_report, rounds=1, iterations=1)
+    record_report(
+        "Scenario campaigns — runner throughput (scenarios/sec)",
+        json.dumps(rows, indent=2),
+    )
+    # The per-scenario metrics must not depend on the pool size.
+    serial, pooled = (_RESULTS[w] for w in WORKER_COUNTS)
+    assert serial.scenarios_json() == pooled.scenarios_json()

@@ -37,8 +37,21 @@ from repro.experiments import (
     Figure5Experiment,
     run_figure5,
 )
+from repro.scenarios import (
+    CampaignRunner,
+    FailureInjector,
+    FailureSpec,
+    ScenarioLab,
+    ScenarioSpec,
+    build_scenario,
+    expand_grid,
+    get_preset,
+    run_campaign,
+    run_scenario,
+)
 
-__version__ = "1.0.0"
+#: Keep in sync with ``version`` in pyproject.toml.
+__version__ = "1.1.0"
 
 __all__ = [
     "Simulator",
@@ -66,5 +79,15 @@ __all__ = [
     "ControllerMicrobench",
     "Figure5Experiment",
     "run_figure5",
+    "CampaignRunner",
+    "FailureInjector",
+    "FailureSpec",
+    "ScenarioLab",
+    "ScenarioSpec",
+    "build_scenario",
+    "expand_grid",
+    "get_preset",
+    "run_campaign",
+    "run_scenario",
     "__version__",
 ]

@@ -7,9 +7,15 @@ Exposes the main experiments without writing any Python::
     python -m repro.cli microbench --updates 50000
     python -m repro.cli groups --peers 2 3 5 10
     python -m repro.cli ablations
+    python -m repro.cli scenarios list
+    python -m repro.cli scenarios run --preset fan --providers 4
+    python -m repro.cli scenarios sweep --providers 2 3 --failures link_down \
+        --workers 4 --output results.json
 
 Every sub-command prints a plain-text report to stdout and exits non-zero
-on obviously broken results (so the CLI doubles as a smoke test).
+on obviously broken results (so the CLI doubles as a smoke test).  The
+``--seed`` option is accepted both globally and per sub-command, so every
+run is reproducible from the command line.
 """
 
 from __future__ import annotations
@@ -23,6 +29,15 @@ from repro.experiments.backup_group_analysis import backup_group_counts
 from repro.experiments.controller_bench import ControllerMicrobench
 from repro.experiments.figure5 import Figure5Experiment, active_prefix_counts
 from repro.experiments.stats import BoxStats, format_table
+from repro.scenarios import (
+    CampaignRunner,
+    ScenarioSpecError,
+    expand_grid,
+    get_preset,
+    preset_names,
+    random_fan_specs,
+    run_scenario,
+)
 from repro.sim.engine import Simulator
 from repro.topology.lab import ConvergenceLab, LabConfig
 
@@ -98,6 +113,117 @@ def _cmd_ablations(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenarios_list(arguments: argparse.Namespace) -> int:
+    rows = []
+    for name in preset_names():
+        spec = get_preset(name)
+        failures = ",".join(f.kind for f in spec.failures) or "-"
+        rows.append(
+            [
+                name,
+                str(spec.num_providers),
+                str(spec.num_edge_routers),
+                "yes" if spec.supercharged else "no",
+                "yes" if spec.redundant_controllers else "no",
+                failures,
+            ]
+        )
+    print(format_table(
+        ["preset", "providers", "edges", "SC", "redundant", "failures"], rows
+    ))
+    return 0
+
+
+def _scenario_overrides(arguments: argparse.Namespace) -> dict:
+    overrides = {"seed": arguments.seed}
+    if arguments.prefixes is not None:
+        overrides["num_prefixes"] = arguments.prefixes
+    if arguments.flows is not None:
+        overrides["monitored_flows"] = arguments.flows
+    if getattr(arguments, "providers", None) is not None:
+        overrides["num_providers"] = arguments.providers
+        overrides["provider_names"] = None
+        overrides["provider_local_prefs"] = None
+    return overrides
+
+
+def _cmd_scenarios_run(arguments: argparse.Namespace) -> int:
+    spec = get_preset(arguments.preset, **_scenario_overrides(arguments))
+    record = run_scenario(spec, timeout=arguments.timeout)
+    detection = (
+        f"{record['detection_ms']:8.1f} ms"
+        if record["detection_ms"] is not None
+        else "       -"
+    )
+    mode = "supercharged" if record["supercharged"] else "standalone"
+    print(
+        f"scenario {record['name']} ({mode}, {record['num_providers']} providers,"
+        f" {record['num_prefixes']} prefixes, seed {record['seed']})"
+    )
+    print(f"  failures          : {', '.join(record['failures']) or 'none'}")
+    print(f"  failure detection : {detection}")
+    print(f"  median convergence: {record['median_ms']:8.1f} ms")
+    print(f"  max convergence   : {record['max_ms']:8.1f} ms")
+    print(f"  converged/recovered: {record['converged']}/{record['recovered']}")
+    return 0 if record["converged"] and record["recovered"] else 1
+
+
+def _cmd_scenarios_sweep(arguments: argparse.Namespace) -> int:
+    if arguments.random:
+        specs = random_fan_specs(
+            arguments.random,
+            seed=arguments.seed,
+            monitored_flows=arguments.flows if arguments.flows is not None else 20,
+        )
+        if arguments.prefixes is not None:
+            specs = [
+                s.with_overrides(num_prefixes=arguments.prefixes).validate()
+                for s in specs
+            ]
+    else:
+        base = get_preset(
+            arguments.preset,
+            seed=arguments.seed,
+            **(
+                {"monitored_flows": arguments.flows}
+                if arguments.flows is not None
+                else {}
+            ),
+        )
+        grid = {}
+        if arguments.providers:
+            grid["num_providers"] = arguments.providers
+        if arguments.prefixes_grid:
+            grid["num_prefixes"] = arguments.prefixes_grid
+        if arguments.failures:
+            grid["failure"] = arguments.failures
+        if not grid:
+            grid["failure"] = ["link_down"]
+        specs = expand_grid(base, grid)
+    runner = CampaignRunner(specs, workers=arguments.workers, timeout=arguments.timeout)
+    result = runner.run()
+    print(result.table())
+    aggregate = result.aggregate()
+    print(
+        f"\n{aggregate['scenarios']} scenarios, workers={arguments.workers},"
+        f" {result.wall_seconds:.1f}s wall"
+        f" ({result.throughput:.2f} scenarios/s),"
+        f" worst max {aggregate['worst_max_ms']:.1f} ms"
+    )
+    if arguments.output:
+        result.write(arguments.output)
+        print(f"report written to {arguments.output}")
+    return 0 if aggregate["all_converged"] and aggregate["all_recovered"] else 1
+
+
+def _add_seed_option(parser: argparse.ArgumentParser) -> None:
+    # SUPPRESS keeps the top-level --seed value when the sub-command omits
+    # it, while still accepting `repro <command> --seed N`.
+    parser.add_argument(
+        "--seed", type=int, default=argparse.SUPPRESS, help="simulation seed"
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -110,27 +236,70 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--prefixes", type=int, default=1_000)
     failover.add_argument("--flows", type=int, default=50)
     failover.add_argument("--supercharged", action="store_true")
+    _add_seed_option(failover)
     failover.set_defaults(handler=_cmd_failover)
 
     figure5 = commands.add_parser("figure5", help="regenerate Figure 5")
     figure5.add_argument("--prefixes", type=int, nargs="*", default=None)
     figure5.add_argument("--repetitions", type=int, default=3)
     figure5.add_argument("--flows", type=int, default=100)
+    _add_seed_option(figure5)
     figure5.set_defaults(handler=_cmd_figure5)
 
     microbench = commands.add_parser("microbench", help="controller processing benchmark")
     microbench.add_argument("--updates", type=int, default=50_000)
+    _add_seed_option(microbench)
     microbench.set_defaults(handler=_cmd_microbench)
 
     groups = commands.add_parser("groups", help="backup-group count analysis")
     groups.add_argument("--peers", type=int, nargs="+", default=[2, 3, 5, 10])
     groups.add_argument("--prefixes", type=int, default=2_000)
+    _add_seed_option(groups)
     groups.set_defaults(handler=_cmd_groups)
 
     ablations = commands.add_parser("ablations", help="compare FIB organisations")
     ablations.add_argument("--prefixes", type=int, default=2_000)
     ablations.add_argument("--flows", type=int, default=20)
+    _add_seed_option(ablations)
     ablations.set_defaults(handler=_cmd_ablations)
+
+    scenarios = commands.add_parser("scenarios", help="declarative scenario engine")
+    scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)
+
+    listing = scenario_commands.add_parser("list", help="list scenario presets")
+    _add_seed_option(listing)
+    listing.set_defaults(handler=_cmd_scenarios_list)
+
+    run = scenario_commands.add_parser("run", help="run one scenario preset")
+    run.add_argument("--preset", default="figure4", choices=preset_names())
+    run.add_argument("--prefixes", type=int, default=None)
+    run.add_argument("--flows", type=int, default=None)
+    run.add_argument("--providers", type=int, default=None)
+    run.add_argument("--timeout", type=float, default=600.0)
+    _add_seed_option(run)
+    run.set_defaults(handler=_cmd_scenarios_run)
+
+    sweep = scenario_commands.add_parser(
+        "sweep", help="run a parameter-grid campaign on a worker pool"
+    )
+    sweep.add_argument("--preset", default="figure4", choices=preset_names())
+    sweep.add_argument("--providers", type=int, nargs="*", default=None,
+                       help="grid: provider counts")
+    sweep.add_argument("--prefixes-grid", type=int, nargs="*", default=None,
+                       help="grid: prefix-table sizes")
+    sweep.add_argument("--failures", nargs="*", default=None,
+                       help="grid: failure campaigns (link_down, link_flap, "
+                            "bfd_loss, session_reset, controller_crash, none)")
+    sweep.add_argument("--random", type=int, default=0,
+                       help="run N randomized ISP-like scenarios instead of a grid")
+    sweep.add_argument("--prefixes", type=int, default=None,
+                       help="fixed prefix-table size (random mode)")
+    sweep.add_argument("--flows", type=int, default=None)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--timeout", type=float, default=600.0)
+    sweep.add_argument("--output", default=None, help="write the JSON report here")
+    _add_seed_option(sweep)
+    sweep.set_defaults(handler=_cmd_scenarios_sweep)
     return parser
 
 
@@ -138,7 +307,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     arguments = parser.parse_args(argv)
-    return arguments.handler(arguments)
+    try:
+        return arguments.handler(arguments)
+    except ScenarioSpecError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -141,6 +141,7 @@ class Link:
         self.latency = latency
         self.name = name or f"{port_a.owner_name}<->{port_b.owner_name}"
         self._state = LinkState.UP
+        self._drop_filter: Optional[Callable[[EthernetFrame], bool]] = None
         self.frames_dropped = 0
         self.frames_delivered = 0
         port_a.attach(self)
@@ -185,6 +186,25 @@ class Link:
         for port in self._ports:
             port.notify_state(LinkState.UP)
 
+    def set_drop_filter(self, predicate: Callable[[EthernetFrame], bool]) -> None:
+        """Silently lose every frame matching ``predicate`` while the link
+        stays up — lossy-wire emulation (e.g. BFD packet loss storms).  The
+        sender still believes the frame was transmitted."""
+        self._drop_filter = predicate
+
+    def clear_drop_filter(
+        self, predicate: Optional[Callable[[EthernetFrame], bool]] = None
+    ) -> None:
+        """Stop dropping frames; the link becomes lossless again.
+
+        Passing the previously installed ``predicate`` clears only if it is
+        still the active filter, so a stale scheduled clear cannot cancel a
+        filter installed later by someone else.
+        """
+        if predicate is not None and self._drop_filter is not predicate:
+            return
+        self._drop_filter = None
+
     # ------------------------------------------------------------------
     # Data path
     # ------------------------------------------------------------------
@@ -196,6 +216,9 @@ class Link:
         if self._state is LinkState.DOWN:
             self.frames_dropped += 1
             return False
+        if self._drop_filter is not None and self._drop_filter(frame):
+            self.frames_dropped += 1
+            return True
         destination = self.peer_of(from_port)
 
         def deliver() -> None:

@@ -58,11 +58,17 @@ class RouteFeed:
 
 
 def _random_as_path(random: SeededRandom, first_hop_asn: int) -> AsPath:
-    """A plausible AS path starting at the provider's ASN."""
+    """A plausible AS path starting at the provider's ASN.
+
+    Random hops stay strictly below every ASN the testbeds reserve for
+    their own devices (64512 controller, 65000+ routers): a synthetic path
+    that contained a device ASN would be silently dropped by that device's
+    BGP loop prevention and the scenario could never fully converge.
+    """
     length = random.randint(1, 5)
     asns = [first_hop_asn]
     for _ in range(length):
-        asns.append(random.randint(1000, 65000))
+        asns.append(random.randint(1000, 64000))
     return AsPath(tuple(asns))
 
 

@@ -1,0 +1,293 @@
+"""Campaign runner: parameter grids → worker pool → aggregated JSON.
+
+A *campaign* expands a base :class:`ScenarioSpec` against a parameter grid
+(cartesian product), executes every resulting scenario — serially or
+across a ``multiprocessing`` pool, each worker owning its own
+deterministic :class:`~repro.sim.engine.Simulator` — and aggregates the
+per-scenario convergence metrics through
+:mod:`repro.experiments.stats` into a JSON results store.
+
+Determinism contract: a scenario's metrics depend only on its spec (which
+embeds the seed), never on the worker count or scheduling order, so the
+``scenarios`` section of the report is byte-identical across runs with the
+same seed.  Wall-clock timing lives only in the ``campaign`` header.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.scenarios.failures import FailureInjector
+from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError, failure_campaign
+from repro.scenarios.testbed import build_scenario
+from repro.sim.engine import Simulator
+
+#: Grid key that selects a canned failure campaign instead of a spec field.
+FAILURE_GRID_KEY = "failure"
+
+
+def _stats_module():
+    # Imported lazily: repro.experiments.figure5 imports the (scenario-based)
+    # lab at package-init time, so a module-level import here would be
+    # circular.  By the time a campaign runs, everything is initialised.
+    from repro.experiments import stats
+
+    return stats
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+def expand_grid(
+    base: ScenarioSpec, grid: Mapping[str, Sequence[Any]]
+) -> List[ScenarioSpec]:
+    """Expand ``grid`` into one validated spec per parameter combination.
+
+    Grid keys are :class:`ScenarioSpec` field names, plus the special key
+    ``"failure"`` naming a canned campaign (``link_down``, ``link_flap``,
+    ``bfd_loss``, ``session_reset``, ``controller_crash`` or ``none``).
+    Each scenario gets a descriptive name and the derived seed
+    ``base.seed + index`` so simulations are decorrelated but reproducible
+    from the single base seed.
+    """
+    spec_fields = set(ScenarioSpec.__dataclass_fields__)
+    for key in grid:
+        if key != FAILURE_GRID_KEY and key not in spec_fields:
+            raise ScenarioSpecError(f"unknown grid key {key!r}")
+        if not grid[key]:
+            raise ScenarioSpecError(f"grid key {key!r} has no values")
+    keys = list(grid.keys())
+    specs: List[ScenarioSpec] = []
+    for index, combo in enumerate(itertools.product(*(grid[key] for key in keys))):
+        overrides: Dict[str, Any] = {}
+        label_parts: List[str] = []
+        for key, value in zip(keys, combo):
+            label_parts.append(f"{key}={value}")
+            if key == FAILURE_GRID_KEY:
+                overrides["failures"] = failure_campaign(str(value))
+            else:
+                overrides[key] = value
+        # Varying the fan width invalidates the base's per-provider lists;
+        # fall back to the generated names/preference ladder.
+        if overrides.get("num_providers", base.num_providers) != base.num_providers:
+            overrides.setdefault("provider_names", None)
+            overrides.setdefault("provider_local_prefs", None)
+        # Derived name/seed must not clobber values the grid itself sweeps.
+        if "name" not in grid:
+            overrides["name"] = (
+                f"{base.name}/{'+'.join(label_parts)}" if label_parts else base.name
+            )
+        if "seed" not in grid:
+            overrides["seed"] = base.seed + index
+        specs.append(base.with_overrides(**overrides).validate())
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Single-scenario execution (the worker body)
+# ----------------------------------------------------------------------
+def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
+    """Execute one scenario end to end and return its metrics record.
+
+    The record contains only simulated-time quantities (plus structural
+    metadata), so it is bit-reproducible from the spec alone.
+    """
+    sim = Simulator(seed=spec.seed)
+    lab = build_scenario(sim, spec)
+    lab.start()
+    lab.load_feeds()
+    converged = lab.wait_converged(timeout=timeout)
+    lab.setup_monitoring()
+    injector = FailureInjector(lab)
+    injector.arm()
+    horizon = spec.failure_horizon
+    if horizon > 0:
+        sim.run_for(horizon + 0.05)
+    recovered = lab.wait_recovered(timeout=timeout)
+    failure_time = injector.first_failure_time
+    if failure_time is not None:
+        times = lab.monitor.convergence_times(failure_time)
+        samples = list(times.values())
+    else:
+        samples = [0.0 for _ in lab.monitored_destinations]
+    stats = _stats_module().BoxStats.from_samples(samples) if samples else None
+    detection_ms: Optional[float] = None
+    if failure_time is not None:
+        detector = lab._failure_detector_session()
+        if detector is not None and detector.last_state_change >= failure_time:
+            detection_ms = round((detector.last_state_change - failure_time) * 1e3, 6)
+    record: Dict[str, Any] = {
+        "name": spec.name,
+        "seed": spec.seed,
+        "supercharged": spec.supercharged,
+        "num_providers": spec.num_providers,
+        "num_edge_routers": spec.num_edge_routers,
+        "num_prefixes": spec.num_prefixes,
+        "failures": [f.kind for f in spec.failures],
+        "converged": bool(converged),
+        "recovered": bool(recovered),
+        "detection_ms": detection_ms,
+        "samples": len(samples),
+        "median_ms": round(stats.median * 1e3, 6) if stats else 0.0,
+        "p95_ms": round(stats.p95 * 1e3, 6) if stats else 0.0,
+        "max_ms": round(stats.maximum * 1e3, 6) if stats else 0.0,
+        "mean_ms": round(stats.mean * 1e3, 6) if stats else 0.0,
+        "events_fired": len(injector.log),
+        "sim_time_s": round(sim.now, 6),
+        "sim_events": sim.events_executed,
+    }
+    return record
+
+
+def _run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Pool worker entry point (module-level for picklability)."""
+    spec = ScenarioSpec.from_dict(payload["spec"])
+    return run_scenario(spec, timeout=payload["timeout"])
+
+
+# ----------------------------------------------------------------------
+# Campaign result
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignResult:
+    """All per-scenario records plus campaign-level aggregation."""
+
+    scenarios: List[Dict[str, Any]]
+    workers: int
+    wall_seconds: float
+    base_seed: int
+
+    @property
+    def throughput(self) -> float:
+        """Scenarios completed per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return float("inf")
+        return len(self.scenarios) / self.wall_seconds
+
+    def aggregate(self) -> Dict[str, Any]:
+        """Campaign-level summary of the per-scenario metrics."""
+        if not self.scenarios:
+            return {"scenarios": 0}
+        maxima = [row["max_ms"] for row in self.scenarios]
+        medians = [row["median_ms"] for row in self.scenarios]
+        summary = _stats_module().BoxStats.from_samples(maxima)
+        return {
+            "scenarios": len(self.scenarios),
+            "all_converged": all(row["converged"] for row in self.scenarios),
+            "all_recovered": all(row["recovered"] for row in self.scenarios),
+            "worst_max_ms": round(summary.maximum, 6),
+            "median_max_ms": round(summary.median, 6),
+            "mean_median_ms": round(sum(medians) / len(medians), 6),
+            "total_sim_events": sum(row["sim_events"] for row in self.scenarios),
+        }
+
+    def to_report(self) -> Dict[str, Any]:
+        """The full JSON-ready report (header + scenarios + aggregate)."""
+        return {
+            "campaign": {
+                "base_seed": self.base_seed,
+                "workers": self.workers,
+                "wall_seconds": round(self.wall_seconds, 3),
+                "throughput_scenarios_per_s": round(self.throughput, 3),
+            },
+            "scenarios": self.scenarios,
+            "aggregate": self.aggregate(),
+        }
+
+    def scenarios_json(self) -> str:
+        """Deterministic JSON of the per-scenario metrics only."""
+        return json.dumps(self.scenarios, sort_keys=True)
+
+    def to_json(self, indent: int = 2) -> str:
+        """Serialise the full report."""
+        return json.dumps(self.to_report(), indent=indent, sort_keys=True)
+
+    def write(self, path: str, indent: int = 2) -> None:
+        """Write the aggregated JSON report to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json(indent=indent))
+            handle.write("\n")
+
+    def table(self) -> str:
+        """Fixed-width text table of the per-scenario metrics."""
+        headers = ["scenario", "mode", "failures", "detect (ms)", "median (ms)", "max (ms)", "ok"]
+        rows = []
+        for row in self.scenarios:
+            rows.append(
+                [
+                    row["name"],
+                    "SC" if row["supercharged"] else "standalone",
+                    ",".join(row["failures"]) or "-",
+                    f"{row['detection_ms']:.1f}" if row["detection_ms"] is not None else "-",
+                    f"{row['median_ms']:.1f}",
+                    f"{row['max_ms']:.1f}",
+                    "yes" if row["converged"] and row["recovered"] else "NO",
+                ]
+            )
+        return _stats_module().format_table(headers, rows)
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+@dataclass
+class CampaignRunner:
+    """Executes a list of scenario specs, optionally on a worker pool.
+
+    ``workers=1`` runs in-process (easiest to debug); ``workers>1`` maps
+    the scenarios over a ``multiprocessing`` pool.  Every worker rebuilds
+    its scenario from the primitive spec dict, so results are independent
+    of the pool size.
+    """
+
+    specs: List[ScenarioSpec]
+    workers: int = 1
+    timeout: float = 600.0
+    #: Populated by :meth:`run`.
+    result: Optional[CampaignResult] = field(default=None, repr=False)
+
+    def run(self) -> CampaignResult:
+        """Execute every scenario and aggregate the results."""
+        if not self.specs:
+            raise ScenarioSpecError("campaign has no scenarios")
+        payloads = [
+            {"spec": spec.to_dict(), "timeout": self.timeout} for spec in self.specs
+        ]
+        started = time.perf_counter()
+        if self.workers > 1:
+            context = multiprocessing.get_context(_pool_start_method())
+            processes = min(self.workers, len(payloads))
+            with context.Pool(processes=processes) as pool:
+                rows = pool.map(_run_scenario_payload, payloads)
+        else:
+            rows = [_run_scenario_payload(payload) for payload in payloads]
+        wall = time.perf_counter() - started
+        self.result = CampaignResult(
+            scenarios=rows,
+            workers=self.workers,
+            wall_seconds=wall,
+            base_seed=self.specs[0].seed,
+        )
+        return self.result
+
+
+def _pool_start_method() -> str:
+    """Prefer fork (inherits sys.path; cheap); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def run_campaign(
+    base: ScenarioSpec,
+    grid: Mapping[str, Sequence[Any]],
+    workers: int = 1,
+    timeout: float = 600.0,
+) -> CampaignResult:
+    """One-call convenience: expand ``grid`` against ``base`` and run it."""
+    specs = expand_grid(base, grid)
+    return CampaignRunner(specs, workers=workers, timeout=timeout).run()

@@ -1,0 +1,267 @@
+"""Composable failure injection for scenario labs.
+
+The Figure-4 lab hard-coded a single fault — disconnect the primary
+provider.  :class:`FailureInjector` generalises that into a catalog of
+schedulable events (see :data:`repro.scenarios.spec.FAILURE_KINDS`):
+
+* ``link_down`` / ``link_up`` — carrier loss and recovery;
+* ``link_flap`` — a storm of down/up cycles;
+* ``bfd_loss`` — silently drop BFD control packets on a link, forcing the
+  failure detector into a false positive while traffic keeps flowing;
+* ``session_reset`` — administratively bounce a provider's BGP sessions;
+* ``controller_crash`` — kill a supercharged-controller replica.
+
+Events are armed against the simulator relative to a start instant, so a
+whole campaign is declared up front and replayed deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.net.links import Link
+from repro.net.packets import EtherType, EthernetFrame, IpProtocol
+from repro.scenarios.spec import FailureSpec, ScenarioSpecError
+from repro.scenarios.testbed import ScenarioLab
+from repro.sim.engine import EventHandle
+
+
+def _is_bfd_frame(frame: EthernetFrame) -> bool:
+    return (
+        frame.ethertype is EtherType.IPV4
+        and getattr(frame.payload, "protocol", None) is IpProtocol.BFD
+    )
+
+
+@dataclass
+class InjectionRecord:
+    """One fired (or scheduled) fault, for post-run inspection."""
+
+    kind: str
+    target: str
+    at: float
+    description: str = ""
+
+
+@dataclass
+class FailureInjector:
+    """Schedules a list of :class:`FailureSpec` events on a built lab."""
+
+    lab: ScenarioLab
+    #: Chronological log of every sub-event actually fired.
+    log: List[InjectionRecord] = field(default_factory=list)
+    #: Simulated time of the first disruptive event (measurement anchor).
+    first_failure_time: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def arm(
+        self, failures: Optional[Sequence[FailureSpec]] = None, start: Optional[float] = None
+    ) -> List[EventHandle]:
+        """Schedule every event ``start + failure.at`` seconds into the sim.
+
+        ``failures`` defaults to the lab spec's campaign; ``start`` defaults
+        to the current simulation time.  Returns the scheduled handles.
+        """
+        events = list(failures) if failures is not None else list(self.lab.spec.failures)
+        t0 = self.lab.sim.now if start is None else start
+        handles: List[EventHandle] = []
+        for failure in events:
+            failure.validate()
+            delay = t0 + failure.at - self.lab.sim.now
+            if delay < 0:
+                raise ScenarioSpecError(
+                    f"failure at {t0 + failure.at} is already in the past"
+                )
+            handles.append(
+                self.lab.sim.schedule(
+                    delay,
+                    lambda f=failure: self._fire(f),
+                    name=f"failure:{failure.kind}:{failure.target or 'primary'}",
+                )
+            )
+        return handles
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _fire(self, failure: FailureSpec) -> None:
+        handler = getattr(self, f"_apply_{failure.kind}")
+        handler(failure)
+
+    def _record(
+        self,
+        failure: FailureSpec,
+        description: str,
+        disruptive: bool,
+        provider_index: Optional[int] = None,
+    ) -> None:
+        now = self.lab.sim.now
+        self.log.append(
+            InjectionRecord(
+                kind=failure.kind, target=failure.target, at=now, description=description
+            )
+        )
+        if disruptive:
+            if self.first_failure_time is None:
+                self.first_failure_time = now
+            self.lab.note_failure(now, provider_index=provider_index)
+
+    # ------------------------------------------------------------------
+    # Target resolution
+    # ------------------------------------------------------------------
+    def _resolve_link(self, target: str) -> Link:
+        """A link name, a provider name, or "" (the primary provider)."""
+        lab = self.lab
+        if not target:
+            return lab.provider_link(0)
+        if target in lab.links:
+            return lab.links[target]
+        try:
+            return lab.provider_link(lab.provider_index(target))
+        except KeyError:
+            raise ScenarioSpecError(
+                f"failure target {target!r} matches no link or provider"
+            ) from None
+
+    def _provider_index_of_link(self, link: Link) -> Optional[int]:
+        for index in range(self.lab.spec.num_providers):
+            if self.lab.provider_link(index) is link:
+                return index
+        return None
+
+    def _notify_monitor(self) -> None:
+        if self.lab.monitor is not None:
+            self.lab.monitor.notify_forwarding_change()
+
+    # ------------------------------------------------------------------
+    # Event implementations
+    # ------------------------------------------------------------------
+    def _apply_link_down(self, failure: FailureSpec) -> None:
+        link = self._resolve_link(failure.target)
+        self._record(
+            failure,
+            f"link {link.name} down",
+            disruptive=True,
+            provider_index=self._provider_index_of_link(link),
+        )
+        link.fail()
+        self._notify_monitor()
+        if failure.duration > 0:
+            self.lab.sim.schedule(
+                failure.duration,
+                lambda: self._restore_link(failure, link, restart_sessions=True),
+                name=f"failure:{failure.kind}:auto-restore",
+            )
+
+    def _apply_link_up(self, failure: FailureSpec) -> None:
+        link = self._resolve_link(failure.target)
+        self._restore_link(failure, link, restart_sessions=True)
+
+    def _restore_link(
+        self, failure: FailureSpec, link: Link, restart_sessions: bool
+    ) -> None:
+        self.log.append(
+            InjectionRecord(
+                kind=failure.kind,
+                target=failure.target,
+                at=self.lab.sim.now,
+                description=f"link {link.name} up",
+            )
+        )
+        link.restore()
+        self._notify_monitor()
+        if restart_sessions:
+            index = self._provider_index_of_link(link)
+            if index is not None:
+                self.lab.restart_provider_sessions(index)
+
+    def _apply_link_flap(self, failure: FailureSpec) -> None:
+        link = self._resolve_link(failure.target)
+        self._record(
+            failure,
+            f"flap storm on {link.name} ({failure.count}x{failure.period:.3f}s)",
+            disruptive=True,
+            provider_index=self._provider_index_of_link(link),
+        )
+        half = failure.period / 2.0
+        for cycle in range(failure.count):
+            offset = cycle * failure.period
+            last = cycle == failure.count - 1
+            self.lab.sim.schedule(
+                offset,
+                lambda l=link: (l.fail(), self._notify_monitor()),
+                name="failure:link_flap:down",
+            )
+            self.lab.sim.schedule(
+                offset + half,
+                lambda l=link, final=last: self._restore_link(
+                    failure, l, restart_sessions=final
+                ),
+                name="failure:link_flap:up",
+            )
+
+    def _apply_bfd_loss(self, failure: FailureSpec) -> None:
+        link = self._resolve_link(failure.target)
+        self._record(
+            failure,
+            f"dropping BFD on {link.name} for {failure.duration:.3f}s",
+            disruptive=True,
+            provider_index=self._provider_index_of_link(link),
+        )
+        # A per-event predicate object, so clearing removes only *this*
+        # storm's filter: an overlapping later storm must not be truncated
+        # by the earlier storm's scheduled clear.
+        predicate = lambda frame: _is_bfd_frame(frame)  # noqa: E731
+        link.set_drop_filter(predicate)
+        self.lab.sim.schedule(
+            failure.duration,
+            lambda l=link, p=predicate: l.clear_drop_filter(p),
+            name="failure:bfd_loss:clear",
+        )
+
+    def _apply_session_reset(self, failure: FailureSpec) -> None:
+        lab = self.lab
+        target = failure.target or lab.spec.provider_name(0)
+        index = lab.provider_index(target)
+        provider = lab.providers[index]
+        provider_ip = lab.plan.provider_core_ip(index)
+        peers = list(provider.bgp.established_peers())
+        self._record(
+            failure,
+            f"resetting {len(peers)} BGP session(s) of {target}",
+            disruptive=True,
+            provider_index=index,
+        )
+        for peer_ip in peers:
+            provider.bgp.peer_connection_lost(peer_ip, "administrative reset")
+            remote = lab.speaker_by_ip(peer_ip)
+            if remote is not None and provider_ip in remote.peers():
+                remote.peer_connection_lost(provider_ip, "administrative reset")
+        restart_after = failure.duration if failure.duration > 0 else 1.0
+
+        def restart() -> None:
+            for peer_ip in peers:
+                provider.bgp.start_peer(peer_ip)
+                remote = lab.speaker_by_ip(peer_ip)
+                if remote is not None and provider_ip in remote.peers():
+                    remote.start_peer(provider_ip)
+
+        lab.sim.schedule(restart_after, restart, name="failure:session_reset:restart")
+
+    def _apply_controller_crash(self, failure: FailureSpec) -> None:
+        cluster = self.lab.cluster
+        if cluster is None:
+            raise ScenarioSpecError("controller_crash requires a supercharged scenario")
+        name = failure.target
+        if not name:
+            healthy = cluster.healthy_replicas()
+            if not healthy:
+                return
+            name = healthy[0].name
+        # Crashing a replica does not disturb the data plane by itself, so it
+        # is not a measurement anchor.
+        self._record(failure, f"controller {name} crashed", disruptive=False)
+        cluster.fail_replica(name)

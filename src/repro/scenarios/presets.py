@@ -1,0 +1,126 @@
+"""Named scenario presets.
+
+Each preset is a function returning a :class:`ScenarioSpec`; keyword
+overrides are forwarded so callers can tweak any field
+(``get_preset("figure4", num_prefixes=5000)``).  The Figure-4 lab of the
+paper is simply the ``figure4`` / ``figure4_standalone`` pair — the rest
+extend the testbed along the axes the paper leaves open: wider provider
+fans, redundant controllers, several routers sharing one switch and
+controller plane.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError, failure_campaign
+
+#: Provider names used by the paper's lab (R1 is the router under test).
+FIGURE4_PROVIDER_NAMES = ["R2", "R3"]
+
+
+def _spec(defaults: Dict[str, Any], overrides: Dict[str, Any]) -> ScenarioSpec:
+    merged = {**defaults, **overrides}
+    return ScenarioSpec(**merged).validate()
+
+
+def figure4(**overrides: Any) -> ScenarioSpec:
+    """The paper's Figure-4 lab, supercharged mode."""
+    return _spec(
+        dict(
+            name="figure4",
+            supercharged=True,
+            num_providers=2,
+            provider_names=list(FIGURE4_PROVIDER_NAMES),
+            provider_local_prefs=[200, 100],
+            failures=failure_campaign("link_down"),
+        ),
+        overrides,
+    )
+
+
+def figure4_standalone(**overrides: Any) -> ScenarioSpec:
+    """The paper's Figure-4 lab with the router on its own (no SDN)."""
+    return figure4(name="figure4-standalone", supercharged=False, **overrides)
+
+
+def multihomed_fan(num_providers: int = 4, **overrides: Any) -> ScenarioSpec:
+    """N upstream providers instead of the paper's two."""
+    return _spec(
+        dict(
+            name=f"fan{num_providers}",
+            supercharged=True,
+            num_providers=num_providers,
+            failures=failure_campaign("link_down"),
+        ),
+        overrides,
+    )
+
+
+def redundant_controllers(**overrides: Any) -> ScenarioSpec:
+    """Two controller replicas; the campaign crashes one mid-failover."""
+    return _spec(
+        dict(
+            name="redundant-controllers",
+            supercharged=True,
+            num_providers=2,
+            redundant_controllers=True,
+            failures=(
+                failure_campaign("controller_crash", at=0.5)
+                + failure_campaign("link_down", at=1.0)
+            ),
+        ),
+        overrides,
+    )
+
+
+def shared_controller_plane(num_edge_routers: int = 2, **overrides: Any) -> ScenarioSpec:
+    """Several routers under test sharing the switch and controller plane."""
+    return _spec(
+        dict(
+            name=f"shared{num_edge_routers}",
+            supercharged=True,
+            num_providers=2,
+            num_edge_routers=num_edge_routers,
+            failures=failure_campaign("link_down"),
+        ),
+        overrides,
+    )
+
+
+def flap_storm(**overrides: Any) -> ScenarioSpec:
+    """Primary provider link flapping repeatedly before staying up."""
+    return _spec(
+        dict(
+            name="flap-storm",
+            supercharged=True,
+            num_providers=2,
+            failures=failure_campaign("link_flap", count=5, period=0.2),
+        ),
+        overrides,
+    )
+
+
+PRESETS: Dict[str, Callable[..., ScenarioSpec]] = {
+    "figure4": figure4,
+    "figure4-standalone": figure4_standalone,
+    "fan": multihomed_fan,
+    "redundant-controllers": redundant_controllers,
+    "shared-controller-plane": shared_controller_plane,
+    "flap-storm": flap_storm,
+}
+
+
+def preset_names() -> List[str]:
+    """All registered preset names."""
+    return sorted(PRESETS)
+
+
+def get_preset(name: str, **overrides: Any) -> ScenarioSpec:
+    """Instantiate the named preset with field overrides applied."""
+    factory = PRESETS.get(name)
+    if factory is None:
+        raise ScenarioSpecError(
+            f"unknown preset {name!r}; available: {', '.join(preset_names())}"
+        )
+    return factory(**overrides)

@@ -1,0 +1,871 @@
+"""Compile a :class:`~repro.scenarios.spec.ScenarioSpec` into a wired sim.
+
+:class:`ScenarioLab` generalises the paper's Figure-4 testbed: instead of
+the fixed R1 + R2/R3 fan it wires
+
+* ``num_edge_routers`` routers under test (each with its own traffic
+  source; the first one is the measured router),
+* ``num_providers`` upstream provider routers, each advertising the same
+  synthetic full table and forwarding received traffic to the shared sink,
+* one OpenFlow switch interconnecting everything, and
+* in supercharged mode, one controller per edge router (plus a redundant
+  replica when requested) attached to the switch.
+
+The class keeps the experiment workflow of the original lab —
+``build → start → load_feeds → wait_converged → setup_monitoring →
+fail_provider → wait_recovered → measure`` — so the Figure-4 lab
+(:class:`repro.topology.lab.ConvergenceLab`) is now just a preset subclass
+pinning ``num_providers=2`` and the legacy naming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.bgp.attributes import PathAttributes
+from repro.bgp.policy import ImportPolicy
+from repro.bgp.speaker import BgpSpeaker, PeerConfig
+from repro.core.controller import ControllerConfig, PeerSpec, SuperchargedController
+from repro.core.reliability import ControllerCluster
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.net.links import Link
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.flow_table import Actions, FlowEntry, FlowMatch
+from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
+from repro.router.fib_updater import FibUpdaterConfig
+from repro.router.router import Router, RouterConfig, StaticRoute
+from repro.routes.prefix_gen import PrefixGenerator
+from repro.routes.ris_feed import RouteFeed, synthetic_full_table
+from repro.scenarios.spec import ScenarioSpec
+from repro.sim.engine import Simulator
+from repro.traffic.flows import FlowSpec
+from repro.traffic.generator import TrafficSource, TrafficSourceConfig
+from repro.traffic.monitor import TrafficSink
+from repro.traffic.reachability import PathTracer, ReachabilityMonitor
+
+#: ASN shared by every controller replica (private-use, as in the paper).
+CONTROLLER_ASN = 64512
+#: FIB download timing of the provider routers (fast line cards).
+PROVIDER_FIB_UPDATER = FibUpdaterConfig(first_entry_latency=0.05, per_entry_latency=1e-5)
+#: OpenFlow channel latency between switch and controller.
+CONTROLLER_CHANNEL_LATENCY = 1e-3
+
+
+class AddressPlan:
+    """Deterministic addressing for an arbitrary-size scenario.
+
+    The plan is backwards compatible with the Figure-4 lab: with one edge
+    router and two providers it produces exactly the paper's addresses,
+    MACs and switch ports (R1=.1/port 1, R2=.2/port 2, R3=.3/port 3,
+    controllers .100/.101 on ports 4/5).
+    """
+
+    CORE_SUBNET = IPv4Prefix("10.0.0.0/24")
+    VNH_POOL = IPv4Prefix("10.0.0.128/25")
+
+    def __init__(self, num_providers: int, num_edge_routers: int, num_controllers: int) -> None:
+        self.num_providers = num_providers
+        self.num_edge_routers = num_edge_routers
+        self.num_controllers = num_controllers
+
+    # Edge routers ------------------------------------------------------
+    def edge_name(self, j: int) -> str:
+        return "R1" if j == 0 else f"E{j + 1}"
+
+    def edge_asn(self, j: int) -> int:
+        return 65000 if j == 0 else 65100 + j
+
+    def edge_core_ip(self, j: int) -> IPv4Address:
+        return IPv4Address(f"10.0.0.{1 if j == 0 else 40 + j}")
+
+    def edge_core_mac(self, j: int) -> MacAddress:
+        return MacAddress(f"00:00:00:00:00:{(0x01 if j == 0 else 0x28 + j):02x}")
+
+    def source_subnet(self, j: int) -> IPv4Prefix:
+        return IPv4Prefix("192.168.1.0/24" if j == 0 else f"172.16.{j}.0/24")
+
+    def edge_source_ip(self, j: int) -> IPv4Address:
+        return IPv4Address(self.source_subnet(j).network.value + 1)
+
+    def source_ip(self, j: int) -> IPv4Address:
+        return IPv4Address(self.source_subnet(j).network.value + 2)
+
+    def edge_source_mac(self, j: int) -> MacAddress:
+        return (
+            MacAddress("00:00:00:00:01:01")
+            if j == 0
+            else MacAddress(f"00:00:00:01:{j:02x}:01")
+        )
+
+    def source_mac(self, j: int) -> MacAddress:
+        return (
+            MacAddress("00:00:00:00:01:02")
+            if j == 0
+            else MacAddress(f"00:00:00:01:{j:02x}:02")
+        )
+
+    def edge_switch_port(self, j: int) -> int:
+        if j == 0:
+            return 1
+        return 1 + self.num_providers + self.num_controllers + 1 + (j - 1)
+
+    # Providers ---------------------------------------------------------
+    def provider_asn(self, i: int) -> int:
+        return 65001 + i
+
+    def provider_core_ip(self, i: int) -> IPv4Address:
+        return IPv4Address(f"10.0.0.{2 + i}")
+
+    def provider_core_mac(self, i: int) -> MacAddress:
+        return MacAddress(f"00:00:00:00:00:{2 + i:02x}")
+
+    def sink_subnet(self, i: int) -> IPv4Prefix:
+        return IPv4Prefix(f"192.168.{2 + i}.0/30")
+
+    def provider_sink_ip(self, i: int) -> IPv4Address:
+        return IPv4Address(self.sink_subnet(i).network.value + 1)
+
+    def sink_ip(self, i: int) -> IPv4Address:
+        return IPv4Address(self.sink_subnet(i).network.value + 2)
+
+    def provider_sink_mac(self, i: int) -> MacAddress:
+        return MacAddress(f"00:00:00:00:{2 + i:02x}:01")
+
+    def sink_mac(self, i: int) -> MacAddress:
+        return MacAddress(f"00:00:00:00:{2 + i:02x}:02")
+
+    def provider_switch_port(self, i: int) -> int:
+        return 2 + i
+
+    # Controllers -------------------------------------------------------
+    def controller_name(self, k: int) -> str:
+        return f"ctrl{k + 1}"
+
+    def controller_ip(self, k: int) -> IPv4Address:
+        return IPv4Address(f"10.0.0.{100 + k}")
+
+    def controller_mac(self, k: int) -> MacAddress:
+        return MacAddress(f"00:00:00:00:00:{0x64 + k:02x}")
+
+    def controller_switch_port(self, k: int) -> int:
+        return 2 + self.num_providers + k
+
+
+@dataclass
+class FailoverResult:
+    """Outcome of one failover run."""
+
+    supercharged: bool
+    num_prefixes: int
+    failure_time: float
+    #: Per-destination data-plane outage in seconds.
+    convergence_times: Dict[IPv4Address, float]
+    detection_time: Optional[float] = None
+
+    @property
+    def samples(self) -> List[float]:
+        """All per-destination convergence samples (seconds)."""
+        return list(self.convergence_times.values())
+
+    @property
+    def max_convergence(self) -> float:
+        """Worst-case convergence across monitored destinations."""
+        return max(self.samples) if self.samples else 0.0
+
+    @property
+    def min_convergence(self) -> float:
+        """Best-case convergence across monitored destinations."""
+        return min(self.samples) if self.samples else 0.0
+
+    @property
+    def max_convergence_ms(self) -> float:
+        """Worst-case convergence in milliseconds."""
+        return self.max_convergence * 1e3
+
+
+class ScenarioLab:
+    """A scenario spec compiled into a complete evaluation environment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        spec: ScenarioSpec,
+        *,
+        fib_updater: Optional[FibUpdaterConfig] = None,
+        switch_config: Optional[SwitchConfig] = None,
+    ) -> None:
+        spec.validate()
+        self.sim = sim
+        self.spec = spec
+        self._fib_updater = fib_updater or self._default_fib_updater(spec)
+        self._switch_config = switch_config or SwitchConfig(
+            flow_mod_latency=spec.flow_mod_latency, table_miss="flood"
+        )
+        controllers_needed = 0
+        if spec.supercharged:
+            controllers_needed = spec.num_edge_routers * (
+                2 if spec.redundant_controllers else 1
+            )
+        self.plan = AddressPlan(
+            spec.num_providers, spec.num_edge_routers, controllers_needed
+        )
+        self.switch: Optional[OpenFlowSwitch] = None
+        self.edge_routers: List[Router] = []
+        self.providers: List[Router] = []
+        self.controllers: List[SuperchargedController] = []
+        self.cluster: Optional[ControllerCluster] = None
+        #: Edge index served by each controller (parallel to ``controllers``).
+        self._controller_edge: List[int] = []
+        self.sources: List[TrafficSource] = []
+        self.sink: Optional[TrafficSink] = None
+        self.monitor: Optional[ReachabilityMonitor] = None
+        self.tracer: Optional[PathTracer] = None
+        self.provider_feeds: List[RouteFeed] = []
+        self.primary_link: Optional[Link] = None
+        self.links: Dict[str, Link] = {}
+        self.monitored_destinations: List[IPv4Address] = []
+        self._destination_prefix: Dict[IPv4Address, IPv4Prefix] = {}
+        self.last_failure_time: Optional[float] = None
+        #: Provider whose failure is being measured (0 when nothing failed yet).
+        self.last_failed_provider: Optional[int] = None
+        self._built = False
+
+    @staticmethod
+    def _default_fib_updater(spec: ScenarioSpec) -> FibUpdaterConfig:
+        defaults = FibUpdaterConfig()
+        return FibUpdaterConfig(
+            first_entry_latency=(
+                spec.fib_first_entry_latency
+                if spec.fib_first_entry_latency is not None
+                else defaults.first_entry_latency
+            ),
+            per_entry_latency=(
+                spec.fib_per_entry_latency
+                if spec.fib_per_entry_latency is not None
+                else defaults.per_entry_latency
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def source(self) -> Optional[TrafficSource]:
+        """The measured edge router's traffic source board."""
+        return self.sources[0] if self.sources else None
+
+    def provider_index(self, name: str) -> int:
+        """Index of the provider called ``name`` (case-insensitive)."""
+        lowered = name.lower()
+        for index in range(self.spec.num_providers):
+            if self.spec.provider_name(index).lower() == lowered:
+                return index
+        raise KeyError(f"no provider named {name!r}")
+
+    def provider_link(self, index: int) -> Link:
+        """The switch-side link of provider ``index``."""
+        return self.links[f"{self.spec.provider_name(index).lower()}-sw"]
+
+    def speaker_by_ip(self, ip: IPv4Address) -> Optional[BgpSpeaker]:
+        """The BGP speaker configured with ``ip``, wherever it lives."""
+        for j, edge in enumerate(self.edge_routers):
+            if self.plan.edge_core_ip(j) == ip:
+                return edge.bgp
+        for i, provider in enumerate(self.providers):
+            if self.plan.provider_core_ip(i) == ip:
+                return provider.bgp
+        for controller in self.controllers:
+            if controller.config.ip == ip:
+                return controller.bgp
+        return None
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def build(self) -> "ScenarioLab":
+        """Instantiate and wire every device; idempotent."""
+        if self._built:
+            return self
+        self._built = True
+        self.switch = OpenFlowSwitch(self.sim, "sw1", self._switch_config)
+        self._build_routers()
+        self._build_traffic_boards()
+        self._wire_links()
+        # Static routes can only resolve once the sink links exist.
+        for i, provider in enumerate(self.providers):
+            provider.add_static_route(
+                StaticRoute(IPv4Prefix("0.0.0.0/0"), self.plan.sink_ip(i))
+            )
+        self._install_static_switch_rules()
+        if self.spec.supercharged:
+            self._build_controllers()
+        self._configure_control_plane()
+        return self
+
+    def _build_routers(self) -> None:
+        spec = self.spec
+        plan = self.plan
+        edge_bfd = None if spec.supercharged else spec.bfd_interval
+        for j in range(spec.num_edge_routers):
+            edge = Router(
+                self.sim,
+                plan.edge_name(j),
+                RouterConfig(
+                    asn=plan.edge_asn(j),
+                    router_id=plan.edge_core_ip(j),
+                    fib_updater=self._fib_updater,
+                    hierarchical_fib=spec.hierarchical_fib,
+                    bfd_interval=edge_bfd,
+                    bfd_multiplier=spec.bfd_multiplier,
+                ),
+            )
+            edge.add_interface(
+                "core", plan.edge_core_mac(j), plan.edge_core_ip(j), plan.CORE_SUBNET
+            )
+            edge.add_interface(
+                "to-source",
+                plan.edge_source_mac(j),
+                plan.edge_source_ip(j),
+                plan.source_subnet(j),
+            )
+            self.edge_routers.append(edge)
+        for i in range(spec.num_providers):
+            provider = Router(
+                self.sim,
+                spec.provider_name(i),
+                RouterConfig(
+                    asn=plan.provider_asn(i),
+                    router_id=plan.provider_core_ip(i),
+                    fib_updater=PROVIDER_FIB_UPDATER,
+                    bfd_interval=spec.bfd_interval,
+                    bfd_multiplier=spec.bfd_multiplier,
+                ),
+            )
+            provider.add_interface(
+                "core",
+                plan.provider_core_mac(i),
+                plan.provider_core_ip(i),
+                plan.CORE_SUBNET,
+            )
+            provider.add_interface(
+                "to-sink",
+                plan.provider_sink_mac(i),
+                plan.provider_sink_ip(i),
+                plan.sink_subnet(i),
+            )
+            self.providers.append(provider)
+
+    def _build_traffic_boards(self) -> None:
+        plan = self.plan
+        self.sink = TrafficSink(self.sim, "sink")
+        for i in range(self.spec.num_providers):
+            self.sink.add_interface(
+                f"from-{self.spec.provider_name(i).lower()}",
+                plan.sink_mac(i),
+                plan.sink_ip(i),
+                plan.sink_subnet(i),
+            )
+        for j in range(self.spec.num_edge_routers):
+            source = TrafficSource(
+                self.sim,
+                "source" if j == 0 else f"source{j + 1}",
+                TrafficSourceConfig(
+                    ip=plan.source_ip(j),
+                    mac=plan.source_mac(j),
+                    subnet=plan.source_subnet(j),
+                    gateway_ip=plan.edge_source_ip(j),
+                ),
+            )
+            source.set_gateway_mac(plan.edge_source_mac(j))
+            self.sources.append(source)
+
+    def _wire_links(self) -> None:
+        spec = self.spec
+        plan = self.plan
+        latency = spec.link_latency
+        switch = self.switch
+        for j, edge in enumerate(self.edge_routers):
+            stem = plan.edge_name(j).lower()
+            self.links[f"{stem}-sw"] = Link(
+                self.sim,
+                edge.interfaces["core"].port,
+                switch.add_port(plan.edge_switch_port(j)),
+                latency=latency,
+                name=f"{stem}-sw",
+            )
+            self.links[f"src-{stem}"] = Link(
+                self.sim,
+                self.sources[j].port,
+                edge.interfaces["to-source"].port,
+                latency=latency,
+                name=f"src-{stem}",
+            )
+        for i, provider in enumerate(self.providers):
+            stem = spec.provider_name(i).lower()
+            self.links[f"{stem}-sw"] = Link(
+                self.sim,
+                provider.interfaces["core"].port,
+                switch.add_port(plan.provider_switch_port(i)),
+                latency=latency,
+                name=f"{stem}-sw",
+            )
+            self.links[f"{stem}-sink"] = Link(
+                self.sim,
+                provider.interfaces["to-sink"].port,
+                self.sink.interfaces[f"from-{stem}"].port,
+                latency=latency,
+                name=f"{stem}-sink",
+            )
+        self.primary_link = self.provider_link(0)
+
+    def _install_static_switch_rules(self) -> None:
+        """Plain L2 forwarding for the physical MACs (priority below the
+        controller's VMAC rules)."""
+        plan = self.plan
+        rules = [
+            (plan.edge_core_mac(j), plan.edge_switch_port(j))
+            for j in range(self.spec.num_edge_routers)
+        ]
+        rules.extend(
+            (plan.provider_core_mac(i), plan.provider_switch_port(i))
+            for i in range(self.spec.num_providers)
+        )
+        if self.spec.supercharged:
+            rules.extend(
+                (plan.controller_mac(k), plan.controller_switch_port(k))
+                for k in range(plan.num_controllers)
+            )
+        for mac, port in rules:
+            self.switch.flow_table.install(
+                FlowEntry(
+                    match=FlowMatch(eth_dst=mac),
+                    actions=Actions(output_port=port),
+                    priority=50,
+                )
+            )
+
+    def _controller_config(self, k: int, edge_index: int) -> ControllerConfig:
+        spec = self.spec
+        plan = self.plan
+        return ControllerConfig(
+            ip=plan.controller_ip(k),
+            mac=plan.controller_mac(k),
+            subnet=plan.CORE_SUBNET,
+            asn=CONTROLLER_ASN,
+            router_id=plan.controller_ip(k),
+            router_ip=plan.edge_core_ip(edge_index),
+            router_asn=plan.edge_asn(edge_index),
+            vnh_pool=plan.VNH_POOL,
+            peers=[
+                PeerSpec(
+                    ip=plan.provider_core_ip(i),
+                    asn=plan.provider_asn(i),
+                    switch_port=plan.provider_switch_port(i),
+                    mac=plan.provider_core_mac(i),
+                    local_pref=spec.provider_local_pref(i),
+                )
+                for i in range(spec.num_providers)
+            ],
+            bfd_interval=spec.bfd_interval,
+            bfd_multiplier=spec.bfd_multiplier,
+            rest_latency=spec.rest_latency,
+        )
+
+    def _attach_controller(self, k: int, edge_index: int) -> SuperchargedController:
+        plan = self.plan
+        controller = SuperchargedController(
+            self.sim, plan.controller_name(k), self._controller_config(k, edge_index)
+        )
+        name = f"{plan.controller_name(k)}-sw"
+        self.links[name] = Link(
+            self.sim,
+            controller.port,
+            self.switch.add_port(plan.controller_switch_port(k)),
+            latency=self.spec.link_latency,
+            name=name,
+        )
+        channel = ControllerChannel(
+            self.sim,
+            latency=CONTROLLER_CHANNEL_LATENCY,
+            name=f"of:{plan.controller_name(k)}",
+        )
+        self.switch.attach_controller(channel)
+        controller.attach_switch(channel)
+        self.controllers.append(controller)
+        self._controller_edge.append(edge_index)
+        return controller
+
+    def _build_controllers(self) -> None:
+        self.cluster = ControllerCluster(self.sim)
+        replicas = 2 if self.spec.redundant_controllers else 1
+        k = 0
+        for edge_index in range(self.spec.num_edge_routers):
+            for _ in range(replicas):
+                self.cluster.add_replica(self._attach_controller(k, edge_index))
+                k += 1
+
+    def _controllers_for_edge(self, edge_index: int) -> List[SuperchargedController]:
+        return [
+            controller
+            for controller, owner in zip(self.controllers, self._controller_edge)
+            if owner == edge_index
+        ]
+
+    def _configure_control_plane(self) -> None:
+        spec = self.spec
+        plan = self.plan
+        # Edge routers are stub edges: they never re-export provider routes
+        # (the standard customer export policy), so their sessions are
+        # receive-only.
+        if spec.supercharged:
+            for edge_index, edge in enumerate(self.edge_routers):
+                for controller in self._controllers_for_edge(edge_index):
+                    edge.add_bgp_peer(
+                        PeerConfig(
+                            peer_ip=controller.config.ip,
+                            peer_asn=CONTROLLER_ASN,
+                            advertise=False,
+                        )
+                    )
+            for provider in self.providers:
+                for controller in self.controllers:
+                    provider.add_bgp_peer(
+                        PeerConfig(
+                            peer_ip=controller.config.ip, peer_asn=CONTROLLER_ASN
+                        )
+                    )
+                    provider.add_bfd_peer(controller.config.ip)
+            return
+        for j, edge in enumerate(self.edge_routers):
+            for i, provider in enumerate(self.providers):
+                edge.add_bgp_peer(
+                    PeerConfig(
+                        peer_ip=plan.provider_core_ip(i),
+                        peer_asn=plan.provider_asn(i),
+                        import_policy=ImportPolicy.prefer(spec.provider_local_pref(i)),
+                        advertise=False,
+                    )
+                )
+                edge.add_bfd_peer(plan.provider_core_ip(i))
+                provider.add_bgp_peer(
+                    PeerConfig(peer_ip=plan.edge_core_ip(j), peer_asn=plan.edge_asn(j))
+                )
+                provider.add_bfd_peer(plan.edge_core_ip(j))
+
+    # ------------------------------------------------------------------
+    # Workflow
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Bring the control plane up (BGP + BFD sessions)."""
+        for edge in self.edge_routers:
+            edge.start()
+        for provider in self.providers:
+            provider.start()
+        if self.cluster is not None:
+            self.cluster.start_all()
+        # Let the sessions establish before feeding routes.
+        self.run_until(self._sessions_established, timeout=30.0)
+
+    def load_feeds(self) -> None:
+        """Generate the synthetic full tables and originate them at every
+        provider (provider ``i`` uses seed ``spec.seed + i`` over the same
+        prefix set, mirroring slightly divergent real-world feeds)."""
+        spec = self.spec
+        count = spec.num_prefixes
+        prefixes = PrefixGenerator(seed=spec.seed).generate(count)
+        self.provider_feeds = []
+        for i, provider in enumerate(self.providers):
+            feed = synthetic_full_table(
+                count,
+                seed=spec.seed + i,
+                provider_asn=self.plan.provider_asn(i),
+                prefixes=prefixes,
+            )
+            self.provider_feeds.append(feed)
+            next_hop = self.plan.provider_core_ip(i)
+            for route in feed.routes:
+                attributes = PathAttributes(
+                    next_hop=next_hop,
+                    as_path=route.as_path,
+                    origin=route.origin,
+                    med=route.med,
+                )
+                provider.bgp.originate(route.prefix, attributes)
+
+    def wait_converged(self, timeout: float = 3600.0) -> bool:
+        """Run until every edge router's control plane and FIB are loaded."""
+        return self.run_until(self._initially_converged, timeout=timeout)
+
+    def setup_monitoring(self, num_flows: Optional[int] = None) -> None:
+        """Select monitored destinations and attach the measurement hooks
+        (the measured path starts at the first edge router's source)."""
+        count = num_flows if num_flows is not None else self.spec.monitored_flows
+        self._select_destinations(count)
+        registry = self._port_registry()
+        gateway_mac = self.plan.edge_source_mac(0)
+        self.tracer = PathTracer(
+            node_by_port=registry,
+            start_port=self.source.port,
+            first_hop_mac=lambda: gateway_mac,
+        )
+        self.monitor = ReachabilityMonitor(self.sim, self.tracer)
+        for destination in self.monitored_destinations:
+            self.monitor.watch(destination, self._destination_prefix[destination])
+        measured = self.edge_routers[0]
+        measured.fib_updater.on_entry_applied(
+            lambda prefix, adjacency, when: self.monitor.notify_prefix_change(prefix)
+        )
+        measured.on_fib_changed(
+            lambda prefix: self.monitor.notify_prefix_change(prefix)
+            if prefix is not None
+            else self.monitor.notify_forwarding_change()
+        )
+        self.switch.on_flow_mod_applied(
+            lambda flow_mod: self.monitor.notify_forwarding_change()
+        )
+        self.monitor.evaluate_all()
+        if self.spec.packet_traffic:
+            for destination in self.monitored_destinations:
+                self.sink.monitor(destination)
+                self.source.add_flow(
+                    FlowSpec(destination=destination, rate_pps=self.spec.packet_rate_pps)
+                )
+
+    def note_failure(
+        self, when: Optional[float] = None, provider_index: Optional[int] = None
+    ) -> float:
+        """Record the instant (and, if known, the provider) of a failure
+        event — the anchors :meth:`measure` reports against."""
+        self.last_failure_time = self.sim.now if when is None else when
+        if provider_index is not None:
+            self.last_failed_provider = provider_index
+        return self.last_failure_time
+
+    def fail_provider(self, index: int = 0) -> float:
+        """Disconnect provider ``index`` from the switch (the paper's
+        failure event for ``index=0``)."""
+        failure_time = self.note_failure(provider_index=index)
+        self.provider_link(index).fail()
+        if self.monitor is not None:
+            self.monitor.notify_forwarding_change()
+        return failure_time
+
+    def restart_provider_sessions(self, index: int) -> None:
+        """Administratively re-open every BGP session of provider ``index``
+        (both ends of each torn session must be restarted)."""
+        provider = self.providers[index]
+        provider_ip = self.plan.provider_core_ip(index)
+        if self.spec.supercharged:
+            for controller in self.cluster.healthy_replicas():
+                controller.restart_peer(provider_ip)
+                provider.bgp.start_peer(controller.config.ip)
+            return
+        for j, edge in enumerate(self.edge_routers):
+            edge.bgp.start_peer(provider_ip)
+            provider.bgp.start_peer(self.plan.edge_core_ip(j))
+
+    def restore_provider(self, index: int = 0, timeout: float = 3600.0) -> bool:
+        """Reconnect provider ``index``, restart its BGP sessions and wait
+        for steady state."""
+        self.provider_link(index).restore()
+        if self.monitor is not None:
+            self.monitor.notify_forwarding_change()
+        self.restart_provider_sessions(index)
+        recovered = self.run_until(self._initially_converged, timeout=timeout)
+        if self.monitor is not None:
+            self.monitor.reset()
+        return recovered
+
+    def wait_recovered(self, timeout: float = 3600.0, settle: float = 0.5) -> bool:
+        """Run until every monitored destination is reachable again."""
+        recovered = self.run_until(self._all_reachable, timeout=timeout)
+        self.sim.run_for(settle)
+        return recovered
+
+    def measure(self) -> FailoverResult:
+        """Collect per-destination convergence times for the last failure."""
+        if self.monitor is None or self.last_failure_time is None:
+            raise RuntimeError("setup_monitoring() and a failure must run first")
+        times = self.monitor.convergence_times(self.last_failure_time)
+        detection = None
+        detector = self._failure_detector_session()
+        if detector is not None:
+            detection = detector.last_state_change - self.last_failure_time
+        return FailoverResult(
+            supercharged=self.spec.supercharged,
+            num_prefixes=self.spec.num_prefixes,
+            failure_time=self.last_failure_time,
+            convergence_times=times,
+            detection_time=detection,
+        )
+
+    def run_single_failover(self, timeout: float = 3600.0) -> FailoverResult:
+        """Fail the primary provider, wait for recovery and measure.
+
+        Assumes the lab is already started, loaded, converged and monitored.
+        """
+        self.fail_provider(0)
+        self.wait_recovered(timeout=timeout)
+        return self.measure()
+
+    # ------------------------------------------------------------------
+    # Simulation helpers
+    # ------------------------------------------------------------------
+    def run_until(
+        self, condition: Callable[[], bool], timeout: float, step: float = 0.25
+    ) -> bool:
+        """Advance simulated time in ``step`` increments until ``condition``."""
+        deadline = self.sim.now + timeout
+        while self.sim.now < deadline:
+            if condition():
+                return True
+            self.sim.run_for(min(step, deadline - self.sim.now))
+        return condition()
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def _provider_ips(self) -> List[IPv4Address]:
+        return [self.plan.provider_core_ip(i) for i in range(self.spec.num_providers)]
+
+    def _sessions_established(self) -> bool:
+        if self.spec.supercharged:
+            for controller, edge_index in zip(self.controllers, self._controller_edge):
+                if self.cluster is not None and self.cluster.is_failed(controller.name):
+                    continue
+                expected = set(self._provider_ips())
+                expected.add(self.plan.edge_core_ip(edge_index))
+                if set(controller.bgp.established_peers()) != expected:
+                    return False
+            return all(
+                len(edge.bgp.established_peers()) >= 1 for edge in self.edge_routers
+            )
+        provider_ips = set(self._provider_ips())
+        for j, edge in enumerate(self.edge_routers):
+            if set(edge.bgp.established_peers()) != provider_ips:
+                return False
+            edge_ip = self.plan.edge_core_ip(j)
+            for provider in self.providers:
+                if edge_ip not in provider.bgp.established_peers():
+                    return False
+        return True
+
+    def _bfd_ready(self) -> bool:
+        """Whether the failure detectors protecting the experiment are Up."""
+        if self.spec.supercharged:
+            for controller in self.cluster.healthy_replicas():
+                for peer_ip in self._provider_ips():
+                    session = controller.bfd.session(peer_ip)
+                    if session is None or not session.is_up:
+                        return False
+            return True
+        for edge in self.edge_routers:
+            for peer_ip in self._provider_ips():
+                session = edge.bfd.session(peer_ip) if edge.bfd else None
+                if session is None or not session.is_up:
+                    return False
+        return True
+
+    def _initially_converged(self) -> bool:
+        expected = self.spec.num_prefixes
+        if not self._bfd_ready():
+            return False
+        for edge in self.edge_routers:
+            if len(edge.bgp.loc_rib) < expected:
+                return False
+            if edge.fib_updater.is_busy or edge.fib_updater.queue_depth:
+                return False
+            if len(edge.fib) < expected:
+                return False
+        if self.spec.supercharged:
+            for controller in self.cluster.healthy_replicas():
+                if len(controller.bgp.loc_rib) < expected:
+                    return False
+        else:
+            # Steady state means traffic is routed via the preferred provider.
+            sample = (
+                self.provider_feeds[0].routes[0].prefix if self.provider_feeds else None
+            )
+            if sample is not None:
+                primary_ip = self.plan.provider_core_ip(0)
+                for edge in self.edge_routers:
+                    entry = edge.fib.entry(sample)
+                    if entry is None or entry.adjacency.next_hop_ip != primary_ip:
+                        return False
+        return True
+
+    def _all_reachable(self) -> bool:
+        if self.monitor is None:
+            return True
+        return all(
+            self.monitor.is_reachable(destination)
+            for destination in self.monitored_destinations
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _select_destinations(self, count: int) -> None:
+        """Pick ``count`` destinations among the advertised prefixes,
+        always including the first and last prefix (as the paper does)."""
+        if not self.provider_feeds:
+            raise RuntimeError("load_feeds() must run before setup_monitoring()")
+        prefixes = self.provider_feeds[0].prefixes()
+        chosen: List[IPv4Prefix] = []
+        if prefixes:
+            chosen.append(prefixes[0])
+        if len(prefixes) > 1:
+            chosen.append(prefixes[-1])
+        remaining = max(count - len(chosen), 0)
+        middle = prefixes[1:-1] if len(prefixes) > 2 else []
+        if middle and remaining:
+            picked = self.sim.random.sample(middle, min(remaining, len(middle)))
+            chosen.extend(picked)
+        self.monitored_destinations = []
+        self._destination_prefix = {}
+        for prefix in chosen:
+            destination = IPv4Address(prefix.network.value + 1)
+            self.monitored_destinations.append(destination)
+            self._destination_prefix[destination] = prefix
+
+    def _port_registry(self) -> Dict[int, object]:
+        registry: Dict[int, object] = {}
+        for router in [*self.edge_routers, *self.providers]:
+            for interface in router.interfaces.values():
+                registry[id(interface.port)] = router
+        for port in self.switch.ports().values():
+            registry[id(port)] = self.switch
+        for interface in self.sink.interfaces.values():
+            registry[id(interface.port)] = self.sink
+        for controller in self.controllers:
+            registry[id(controller.port)] = controller
+        return registry
+
+    def _failure_detector_session(self):
+        failed = self.last_failed_provider if self.last_failed_provider is not None else 0
+        failed_ip = self.plan.provider_core_ip(failed)
+        if self.spec.supercharged:
+            if self.cluster is None:
+                return None
+            for controller in self.cluster.healthy_replicas():
+                session = controller.bfd.session(failed_ip)
+                if session is not None:
+                    return session
+            return None
+        edge = self.edge_routers[0]
+        if edge.bfd is None:
+            return None
+        return edge.bfd.session(failed_ip)
+
+    def __repr__(self) -> str:
+        return (
+            f"ScenarioLab({self.spec.name!r}, providers={self.spec.num_providers},"
+            f" edges={self.spec.num_edge_routers},"
+            f" supercharged={self.spec.supercharged})"
+        )
+
+
+def build_scenario(sim: Simulator, spec: ScenarioSpec) -> ScenarioLab:
+    """Validate ``spec``, compile it and wire every device."""
+    return ScenarioLab(sim, spec).build()

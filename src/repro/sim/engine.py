@@ -32,6 +32,7 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     name: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    executed: bool = field(default=False, compare=False)
 
 
 class EventHandle:
@@ -57,6 +58,11 @@ class EventHandle:
         """Whether the event was cancelled before execution."""
         return self._event.cancelled
 
+    @property
+    def executed(self) -> bool:
+        """Whether the event has already run."""
+        return self._event.executed
+
     def cancel(self) -> bool:
         """Cancel the event.
 
@@ -64,7 +70,7 @@ class EventHandle:
         Cancelling an already-executed event is a harmless no-op returning
         ``False``.
         """
-        if self._event.cancelled:
+        if self._event.cancelled or self._event.executed:
             return False
         self._event.cancelled = True
         return True
@@ -169,6 +175,7 @@ class Simulator:
                 raise SimulationError("event queue corrupted: time went backwards")
             self._now = event.time
             self._executed += 1
+            event.executed = True
             event.callback()
             return True
         return False

@@ -8,6 +8,7 @@ entire experiment is reproducible from one integer seed.
 from __future__ import annotations
 
 import random
+import zlib
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -29,9 +30,12 @@ class SeededRandom:
         """Derive an independent, reproducible child source.
 
         Two forks with the same parent seed and label always produce the
-        same stream, regardless of how much the parent has been consumed.
+        same stream, regardless of how much the parent has been consumed —
+        across processes too (the label is mixed in with a stable CRC, not
+        Python's per-process salted ``hash``).
         """
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
+        label_mix = zlib.crc32(label.encode("utf-8"))
+        child_seed = (self._seed * 0x9E3779B1 + label_mix) & 0x7FFFFFFF
         return SeededRandom(child_seed)
 
     def uniform(self, low: float, high: float) -> float:

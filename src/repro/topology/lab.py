@@ -1,4 +1,4 @@
-"""The Figure 4 convergence lab.
+"""The Figure 4 convergence lab — now a preset of the scenario engine.
 
 Rebuilds the paper's hardware testbed in simulation:
 
@@ -13,39 +13,40 @@ Rebuilds the paper's hardware testbed in simulation:
 * **controller** — the supercharged controller (optionally two redundant
   replicas) in supercharged mode.
 
-The lab exposes the experiment workflow used throughout the benchmarks:
+Since the scenario engine landed, all the construction and workflow
+machinery lives in :class:`repro.scenarios.testbed.ScenarioLab`; this
+module pins it to the paper's exact two-provider topology (addresses,
+MACs, switch ports and names below) and keeps the historical API:
 ``build → load_feeds → wait_converged → setup_monitoring → fail_primary →
 wait_recovered → measure`` (and ``restore_primary`` between repetitions).
+The equivalent declarative form is ``repro.scenarios.presets.figure4()``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Optional
 
-from repro.bgp.attributes import PathAttributes
-from repro.bgp.policy import ImportPolicy
-from repro.bgp.speaker import PeerConfig
-from repro.core.controller import ControllerConfig, PeerSpec, SuperchargedController
-from repro.core.reliability import ControllerCluster
 from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
-from repro.net.links import Link
-from repro.openflow.controller_channel import ControllerChannel
-from repro.openflow.flow_table import Actions, FlowEntry, FlowMatch
-from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
+from repro.openflow.switch import SwitchConfig
 from repro.router.fib_updater import FibUpdaterConfig
-from repro.router.router import Router, RouterConfig, StaticRoute
-from repro.routes.prefix_gen import PrefixGenerator
-from repro.routes.ris_feed import RouteFeed, synthetic_full_table
+from repro.router.router import Router
+from repro.routes.ris_feed import RouteFeed
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.testbed import FailoverResult, ScenarioLab
+from repro.core.controller import SuperchargedController
 from repro.sim.engine import Simulator
-from repro.traffic.flows import FlowSpec
-from repro.traffic.generator import TrafficSource, TrafficSourceConfig
-from repro.traffic.monitor import TrafficSink
-from repro.traffic.reachability import PathTracer, ReachabilityMonitor
 
+__all__ = [
+    "ConvergenceLab",
+    "FailoverResult",
+    "LabConfig",
+    "build_convergence_lab",
+]
 
 # ----------------------------------------------------------------------
-# Addressing plan (constants so tests and docs can refer to them)
+# Addressing plan (constants so tests and docs can refer to them; these
+# are exactly what AddressPlan computes for 1 edge router + 2 providers)
 # ----------------------------------------------------------------------
 CORE_SUBNET = IPv4Prefix("10.0.0.0/24")
 R1_CORE_IP = IPv4Address("10.0.0.1")
@@ -116,460 +117,95 @@ class LabConfig:
     packet_rate_pps: float = 200.0
     link_latency: float = 10e-6
 
-
-@dataclass
-class FailoverResult:
-    """Outcome of one failover run."""
-
-    supercharged: bool
-    num_prefixes: int
-    failure_time: float
-    #: Per-destination data-plane outage in seconds.
-    convergence_times: Dict[IPv4Address, float]
-    detection_time: Optional[float] = None
-
-    @property
-    def samples(self) -> List[float]:
-        """All per-destination convergence samples (seconds)."""
-        return list(self.convergence_times.values())
-
-    @property
-    def max_convergence(self) -> float:
-        """Worst-case convergence across monitored destinations."""
-        return max(self.samples) if self.samples else 0.0
-
-    @property
-    def min_convergence(self) -> float:
-        """Best-case convergence across monitored destinations."""
-        return min(self.samples) if self.samples else 0.0
-
-    @property
-    def max_convergence_ms(self) -> float:
-        """Worst-case convergence in milliseconds."""
-        return self.max_convergence * 1e3
+    def to_scenario_spec(self) -> ScenarioSpec:
+        """The equivalent declarative scenario description."""
+        return ScenarioSpec(
+            name="figure4" if self.supercharged else "figure4-standalone",
+            num_prefixes=self.num_prefixes,
+            supercharged=self.supercharged,
+            num_providers=2,
+            provider_names=["R2", "R3"],
+            provider_local_prefs=[self.primary_local_pref, self.backup_local_pref],
+            redundant_controllers=self.redundant_controllers,
+            hierarchical_fib=self.hierarchical_fib,
+            monitored_flows=self.monitored_flows,
+            seed=self.seed,
+            bfd_interval=self.bfd_interval,
+            bfd_multiplier=self.bfd_multiplier,
+            rest_latency=self.rest_latency,
+            flow_mod_latency=self.switch.flow_mod_latency,
+            link_latency=self.link_latency,
+            packet_traffic=self.packet_traffic,
+            packet_rate_pps=self.packet_rate_pps,
+        )
 
 
-class ConvergenceLab:
-    """The complete evaluation environment."""
+class ConvergenceLab(ScenarioLab):
+    """The complete paper evaluation environment (Figure-4 preset).
+
+    A :class:`~repro.scenarios.testbed.ScenarioLab` pinned to the paper's
+    topology, plus the historical accessors (``r1``/``r2``/``r3``,
+    ``feed_r2``/``feed_r3``, ``fail_primary``/``restore_primary``…) the
+    rest of the code base and the experiments grew up with.
+    """
 
     def __init__(self, sim: Simulator, config: LabConfig) -> None:
-        self.sim = sim
         self.config = config
-        self.switch: Optional[OpenFlowSwitch] = None
-        self.r1: Optional[Router] = None
-        self.r2: Optional[Router] = None
-        self.r3: Optional[Router] = None
-        self.controller: Optional[SuperchargedController] = None
-        self.cluster: Optional[ControllerCluster] = None
-        self.source: Optional[TrafficSource] = None
-        self.sink: Optional[TrafficSink] = None
-        self.monitor: Optional[ReachabilityMonitor] = None
-        self.tracer: Optional[PathTracer] = None
-        self.feed_r2: Optional[RouteFeed] = None
-        self.feed_r3: Optional[RouteFeed] = None
-        self.primary_link: Optional[Link] = None
-        self.links: Dict[str, Link] = {}
-        self.monitored_destinations: List[IPv4Address] = []
-        self._destination_prefix: Dict[IPv4Address, IPv4Prefix] = {}
-        self.last_failure_time: Optional[float] = None
-        self._built = False
+        super().__init__(
+            sim,
+            config.to_scenario_spec(),
+            fib_updater=config.fib_updater,
+            switch_config=config.switch,
+        )
 
     # ------------------------------------------------------------------
-    # Construction
+    # Historical accessors
+    # ------------------------------------------------------------------
+    @property
+    def r1(self) -> Optional[Router]:
+        """The router under test."""
+        return self.edge_routers[0] if self.edge_routers else None
+
+    @property
+    def r2(self) -> Optional[Router]:
+        """The primary ($) provider."""
+        return self.providers[0] if self.providers else None
+
+    @property
+    def r3(self) -> Optional[Router]:
+        """The backup ($$) provider."""
+        return self.providers[1] if len(self.providers) > 1 else None
+
+    @property
+    def controller(self) -> Optional[SuperchargedController]:
+        """The (first) supercharged controller, if present."""
+        return self.controllers[0] if self.controllers else None
+
+    @property
+    def feed_r2(self) -> Optional[RouteFeed]:
+        """The synthetic full table advertised by R2."""
+        return self.provider_feeds[0] if self.provider_feeds else None
+
+    @property
+    def feed_r3(self) -> Optional[RouteFeed]:
+        """The synthetic full table advertised by R3."""
+        return self.provider_feeds[1] if len(self.provider_feeds) > 1 else None
+
+    # ------------------------------------------------------------------
+    # Historical workflow names
     # ------------------------------------------------------------------
     def build(self) -> "ConvergenceLab":
         """Instantiate and wire every device; idempotent."""
-        if self._built:
-            return self
-        self._built = True
-        config = self.config
-        self.switch = OpenFlowSwitch(self.sim, "sw1", config.switch)
-        self._build_routers()
-        self._build_traffic_boards()
-        self._wire_links()
-        # Static routes can only resolve once the sink links exist.
-        self.r2.add_static_route(StaticRoute(IPv4Prefix("0.0.0.0/0"), SINK_R2_IP))
-        self.r3.add_static_route(StaticRoute(IPv4Prefix("0.0.0.0/0"), SINK_R3_IP))
-        self._install_static_switch_rules()
-        if config.supercharged:
-            self._build_controllers()
-        self._configure_control_plane()
+        super().build()
         return self
-
-    def _build_routers(self) -> None:
-        config = self.config
-        r1_bfd = None if config.supercharged else config.bfd_interval
-        self.r1 = Router(
-            self.sim,
-            "R1",
-            RouterConfig(
-                asn=R1_ASN,
-                router_id=R1_CORE_IP,
-                fib_updater=config.fib_updater,
-                hierarchical_fib=config.hierarchical_fib,
-                bfd_interval=r1_bfd,
-                bfd_multiplier=config.bfd_multiplier,
-            ),
-        )
-        self.r1.add_interface("core", R1_CORE_MAC, R1_CORE_IP, CORE_SUBNET)
-        self.r1.add_interface("to-source", R1_SOURCE_MAC, R1_SOURCE_IP, SOURCE_SUBNET)
-
-        peer_fib = FibUpdaterConfig(first_entry_latency=0.05, per_entry_latency=1e-5)
-        self.r2 = Router(
-            self.sim,
-            "R2",
-            RouterConfig(
-                asn=R2_ASN,
-                router_id=R2_CORE_IP,
-                fib_updater=peer_fib,
-                bfd_interval=config.bfd_interval,
-                bfd_multiplier=config.bfd_multiplier,
-            ),
-        )
-        self.r2.add_interface("core", R2_CORE_MAC, R2_CORE_IP, CORE_SUBNET)
-        self.r2.add_interface("to-sink", R2_SINK_MAC, R2_SINK_IP, SINK_R2_SUBNET)
-
-        self.r3 = Router(
-            self.sim,
-            "R3",
-            RouterConfig(
-                asn=R3_ASN,
-                router_id=R3_CORE_IP,
-                fib_updater=peer_fib,
-                bfd_interval=config.bfd_interval,
-                bfd_multiplier=config.bfd_multiplier,
-            ),
-        )
-        self.r3.add_interface("core", R3_CORE_MAC, R3_CORE_IP, CORE_SUBNET)
-        self.r3.add_interface("to-sink", R3_SINK_MAC, R3_SINK_IP, SINK_R3_SUBNET)
-
-    def _build_traffic_boards(self) -> None:
-        self.sink = TrafficSink(self.sim, "sink")
-        self.sink.add_interface("from-r2", SINK_R2_MAC, SINK_R2_IP, SINK_R2_SUBNET)
-        self.sink.add_interface("from-r3", SINK_R3_MAC, SINK_R3_IP, SINK_R3_SUBNET)
-        self.source = TrafficSource(
-            self.sim,
-            "source",
-            TrafficSourceConfig(
-                ip=SOURCE_IP,
-                mac=SOURCE_MAC,
-                subnet=SOURCE_SUBNET,
-                gateway_ip=R1_SOURCE_IP,
-            ),
-        )
-        self.source.set_gateway_mac(R1_SOURCE_MAC)
-
-    def _wire_links(self) -> None:
-        latency = self.config.link_latency
-        switch = self.switch
-        self.links["r1-sw"] = Link(
-            self.sim,
-            self.r1.interfaces["core"].port,
-            switch.add_port(SWITCH_PORT_R1),
-            latency=latency,
-            name="r1-sw",
-        )
-        self.links["r2-sw"] = Link(
-            self.sim,
-            self.r2.interfaces["core"].port,
-            switch.add_port(SWITCH_PORT_R2),
-            latency=latency,
-            name="r2-sw",
-        )
-        self.links["r3-sw"] = Link(
-            self.sim,
-            self.r3.interfaces["core"].port,
-            switch.add_port(SWITCH_PORT_R3),
-            latency=latency,
-            name="r3-sw",
-        )
-        self.links["src-r1"] = Link(
-            self.sim,
-            self.source.port,
-            self.r1.interfaces["to-source"].port,
-            latency=latency,
-            name="src-r1",
-        )
-        self.links["r2-sink"] = Link(
-            self.sim,
-            self.r2.interfaces["to-sink"].port,
-            self.sink.interfaces["from-r2"].port,
-            latency=latency,
-            name="r2-sink",
-        )
-        self.links["r3-sink"] = Link(
-            self.sim,
-            self.r3.interfaces["to-sink"].port,
-            self.sink.interfaces["from-r3"].port,
-            latency=latency,
-            name="r3-sink",
-        )
-        self.primary_link = self.links["r2-sw"]
-
-    def _install_static_switch_rules(self) -> None:
-        """Plain L2 forwarding for the physical MACs (priority below the
-        controller's VMAC rules)."""
-        rules = [
-            (R1_CORE_MAC, SWITCH_PORT_R1),
-            (R2_CORE_MAC, SWITCH_PORT_R2),
-            (R3_CORE_MAC, SWITCH_PORT_R3),
-        ]
-        if self.config.supercharged:
-            rules.append((CONTROLLER_MAC, SWITCH_PORT_CONTROLLER))
-            if self.config.redundant_controllers:
-                rules.append((CONTROLLER2_MAC, SWITCH_PORT_CONTROLLER2))
-        for mac, port in rules:
-            self.switch.flow_table.install(
-                FlowEntry(
-                    match=FlowMatch(eth_dst=mac),
-                    actions=Actions(output_port=port),
-                    priority=50,
-                )
-            )
-
-    def _controller_config(self, ip: IPv4Address, mac: MacAddress) -> ControllerConfig:
-        config = self.config
-        return ControllerConfig(
-            ip=ip,
-            mac=mac,
-            subnet=CORE_SUBNET,
-            asn=CONTROLLER_ASN,
-            router_id=ip,
-            router_ip=R1_CORE_IP,
-            router_asn=R1_ASN,
-            vnh_pool=VNH_POOL,
-            peers=[
-                PeerSpec(
-                    ip=R2_CORE_IP,
-                    asn=R2_ASN,
-                    switch_port=SWITCH_PORT_R2,
-                    mac=R2_CORE_MAC,
-                    local_pref=config.primary_local_pref,
-                ),
-                PeerSpec(
-                    ip=R3_CORE_IP,
-                    asn=R3_ASN,
-                    switch_port=SWITCH_PORT_R3,
-                    mac=R3_CORE_MAC,
-                    local_pref=config.backup_local_pref,
-                ),
-            ],
-            bfd_interval=config.bfd_interval,
-            bfd_multiplier=config.bfd_multiplier,
-            rest_latency=config.rest_latency,
-        )
-
-    def _build_controllers(self) -> None:
-        latency = self.config.link_latency
-        self.controller = SuperchargedController(
-            self.sim, "ctrl1", self._controller_config(CONTROLLER_IP, CONTROLLER_MAC)
-        )
-        self.links["ctrl1-sw"] = Link(
-            self.sim,
-            self.controller.port,
-            self.switch.add_port(SWITCH_PORT_CONTROLLER),
-            latency=latency,
-            name="ctrl1-sw",
-        )
-        channel = ControllerChannel(self.sim, latency=1e-3, name="of:ctrl1")
-        self.switch.attach_controller(channel)
-        self.controller.attach_switch(channel)
-        self.cluster = ControllerCluster(self.sim)
-        self.cluster.add_replica(self.controller)
-        if self.config.redundant_controllers:
-            replica = SuperchargedController(
-                self.sim, "ctrl2", self._controller_config(CONTROLLER2_IP, CONTROLLER2_MAC)
-            )
-            self.links["ctrl2-sw"] = Link(
-                self.sim,
-                replica.port,
-                self.switch.add_port(SWITCH_PORT_CONTROLLER2),
-                latency=latency,
-                name="ctrl2-sw",
-            )
-            channel2 = ControllerChannel(self.sim, latency=1e-3, name="of:ctrl2")
-            self.switch.attach_controller(channel2)
-            replica.attach_switch(channel2)
-            self.cluster.add_replica(replica)
-
-    def _configure_control_plane(self) -> None:
-        config = self.config
-        # R1 is a stub edge router: it never re-exports provider routes (the
-        # standard customer export policy), so its sessions are receive-only.
-        if config.supercharged:
-            controllers = self.cluster.replicas()
-            for controller in controllers:
-                self.r1.add_bgp_peer(
-                    PeerConfig(
-                        peer_ip=controller.config.ip,
-                        peer_asn=CONTROLLER_ASN,
-                        advertise=False,
-                    )
-                )
-            for peer_router in (self.r2, self.r3):
-                for controller in controllers:
-                    peer_router.add_bgp_peer(
-                        PeerConfig(peer_ip=controller.config.ip, peer_asn=CONTROLLER_ASN)
-                    )
-                    peer_router.add_bfd_peer(controller.config.ip)
-        else:
-            self.r1.add_bgp_peer(
-                PeerConfig(
-                    peer_ip=R2_CORE_IP,
-                    peer_asn=R2_ASN,
-                    import_policy=ImportPolicy.prefer(config.primary_local_pref),
-                    advertise=False,
-                )
-            )
-            self.r1.add_bgp_peer(
-                PeerConfig(
-                    peer_ip=R3_CORE_IP,
-                    peer_asn=R3_ASN,
-                    import_policy=ImportPolicy.prefer(config.backup_local_pref),
-                    advertise=False,
-                )
-            )
-            self.r1.add_bfd_peer(R2_CORE_IP)
-            self.r1.add_bfd_peer(R3_CORE_IP)
-            self.r2.add_bgp_peer(PeerConfig(peer_ip=R1_CORE_IP, peer_asn=R1_ASN))
-            self.r3.add_bgp_peer(PeerConfig(peer_ip=R1_CORE_IP, peer_asn=R1_ASN))
-            self.r2.add_bfd_peer(R1_CORE_IP)
-            self.r3.add_bfd_peer(R1_CORE_IP)
-
-    # ------------------------------------------------------------------
-    # Workflow
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Bring the control plane up (BGP + BFD sessions)."""
-        self.r1.start()
-        self.r2.start()
-        self.r3.start()
-        if self.cluster is not None:
-            self.cluster.start_all()
-        # Let the sessions establish before feeding routes.
-        self.run_until(self._sessions_established, timeout=30.0)
-
-    def load_feeds(self) -> None:
-        """Generate the synthetic full tables and originate them at R2/R3."""
-        count = self.config.num_prefixes
-        prefixes = PrefixGenerator(seed=self.config.seed).generate(count)
-        self.feed_r2 = synthetic_full_table(
-            count, seed=self.config.seed, provider_asn=R2_ASN, prefixes=prefixes
-        )
-        self.feed_r3 = synthetic_full_table(
-            count, seed=self.config.seed + 1, provider_asn=R3_ASN, prefixes=prefixes
-        )
-        for route in self.feed_r2.routes:
-            attributes = PathAttributes(
-                next_hop=R2_CORE_IP,
-                as_path=route.as_path,
-                origin=route.origin,
-                med=route.med,
-            )
-            self.r2.bgp.originate(route.prefix, attributes)
-        for route in self.feed_r3.routes:
-            attributes = PathAttributes(
-                next_hop=R3_CORE_IP,
-                as_path=route.as_path,
-                origin=route.origin,
-                med=route.med,
-            )
-            self.r3.bgp.originate(route.prefix, attributes)
-
-    def wait_converged(self, timeout: float = 3600.0) -> bool:
-        """Run the simulation until R1's control plane and FIB are loaded."""
-        return self.run_until(self._initially_converged, timeout=timeout)
-
-    def setup_monitoring(self, num_flows: Optional[int] = None) -> None:
-        """Select monitored destinations and attach the measurement hooks."""
-        count = num_flows if num_flows is not None else self.config.monitored_flows
-        self._select_destinations(count)
-        registry = self._port_registry()
-        self.tracer = PathTracer(
-            node_by_port=registry,
-            start_port=self.source.port,
-            first_hop_mac=lambda: R1_SOURCE_MAC,
-        )
-        self.monitor = ReachabilityMonitor(self.sim, self.tracer)
-        for destination in self.monitored_destinations:
-            self.monitor.watch(destination, self._destination_prefix[destination])
-        self.r1.fib_updater.on_entry_applied(
-            lambda prefix, adjacency, when: self.monitor.notify_prefix_change(prefix)
-        )
-        self.r1.on_fib_changed(
-            lambda prefix: self.monitor.notify_prefix_change(prefix)
-            if prefix is not None
-            else self.monitor.notify_forwarding_change()
-        )
-        self.switch.on_flow_mod_applied(
-            lambda flow_mod: self.monitor.notify_forwarding_change()
-        )
-        self.monitor.evaluate_all()
-        if self.config.packet_traffic:
-            for destination in self.monitored_destinations:
-                self.sink.monitor(destination)
-                self.source.add_flow(
-                    FlowSpec(destination=destination, rate_pps=self.config.packet_rate_pps)
-                )
 
     def fail_primary(self) -> float:
         """Disconnect R2 from the switch (the paper's failure event)."""
-        self.last_failure_time = self.sim.now
-        self.primary_link.fail()
-        if self.monitor is not None:
-            self.monitor.notify_forwarding_change()
-        return self.last_failure_time
-
-    def wait_recovered(self, timeout: float = 3600.0, settle: float = 0.5) -> bool:
-        """Run until every monitored destination is reachable again."""
-        recovered = self.run_until(self._all_reachable, timeout=timeout)
-        self.sim.run_for(settle)
-        return recovered
-
-    def measure(self) -> FailoverResult:
-        """Collect per-destination convergence times for the last failure."""
-        if self.monitor is None or self.last_failure_time is None:
-            raise RuntimeError("setup_monitoring() and fail_primary() must run first")
-        times = self.monitor.convergence_times(self.last_failure_time)
-        detection = None
-        detector = self._failure_detector_session()
-        if detector is not None:
-            detection = detector.last_state_change - self.last_failure_time
-        return FailoverResult(
-            supercharged=self.config.supercharged,
-            num_prefixes=self.config.num_prefixes,
-            failure_time=self.last_failure_time,
-            convergence_times=times,
-            detection_time=detection,
-        )
+        return self.fail_provider(0)
 
     def restore_primary(self, timeout: float = 3600.0) -> bool:
         """Reconnect R2, re-open its BGP sessions and wait for steady state."""
-        self.primary_link.restore()
-        if self.monitor is not None:
-            self.monitor.notify_forwarding_change()
-        # Both ends of each torn session must be administratively restarted.
-        if self.config.supercharged:
-            for controller in self.cluster.healthy_replicas():
-                controller.restart_peer(R2_CORE_IP)
-                self.r2.bgp.start_peer(controller.config.ip)
-        else:
-            self.r1.bgp.start_peer(R2_CORE_IP)
-            self.r2.bgp.start_peer(R1_CORE_IP)
-        recovered = self.run_until(self._initially_converged, timeout=timeout)
-        if self.monitor is not None:
-            self.monitor.reset()
-        return recovered
-
-    def run_single_failover(self, timeout: float = 3600.0) -> FailoverResult:
-        """Fail the primary, wait for recovery and return the measurement.
-
-        Assumes the lab is already started, loaded, converged and monitored
-        (use :meth:`run_failover` for the end-to-end convenience wrapper).
-        """
-        self.fail_primary()
-        self.wait_recovered(timeout=timeout)
-        return self.measure()
+        return self.restore_provider(0, timeout=timeout)
 
     def run_failover(
         self, num_flows: Optional[int] = None, timeout: float = 3600.0
@@ -586,136 +222,6 @@ class ConvergenceLab:
         self.fail_primary()
         self.wait_recovered(timeout=timeout)
         return self.measure()
-
-    # ------------------------------------------------------------------
-    # Simulation helpers
-    # ------------------------------------------------------------------
-    def run_until(
-        self, condition: Callable[[], bool], timeout: float, step: float = 0.25
-    ) -> bool:
-        """Advance simulated time in ``step`` increments until ``condition``."""
-        deadline = self.sim.now + timeout
-        while self.sim.now < deadline:
-            if condition():
-                return True
-            self.sim.run_for(min(step, deadline - self.sim.now))
-        return condition()
-
-    # ------------------------------------------------------------------
-    # Conditions
-    # ------------------------------------------------------------------
-    def _sessions_established(self) -> bool:
-        if self.config.supercharged:
-            controllers = self.cluster.healthy_replicas()
-            for controller in controllers:
-                expected = {R2_CORE_IP, R3_CORE_IP, R1_CORE_IP}
-                if set(controller.bgp.established_peers()) != expected:
-                    return False
-            return len(self.r1.bgp.established_peers()) >= 1
-        return (
-            set(self.r1.bgp.established_peers()) == {R2_CORE_IP, R3_CORE_IP}
-            and R1_CORE_IP in self.r2.bgp.established_peers()
-            and R1_CORE_IP in self.r3.bgp.established_peers()
-        )
-
-    def _bfd_ready(self) -> bool:
-        """Whether the failure detectors protecting the experiment are Up."""
-        if self.config.supercharged:
-            for controller in self.cluster.healthy_replicas():
-                for peer_ip in (R2_CORE_IP, R3_CORE_IP):
-                    session = controller.bfd.session(peer_ip)
-                    if session is None or not session.is_up:
-                        return False
-            return True
-        for peer_ip in (R2_CORE_IP, R3_CORE_IP):
-            session = self.r1.bfd.session(peer_ip) if self.r1.bfd else None
-            if session is None or not session.is_up:
-                return False
-        return True
-
-    def _initially_converged(self) -> bool:
-        expected = self.config.num_prefixes
-        if not self._bfd_ready():
-            return False
-        if len(self.r1.bgp.loc_rib) < expected:
-            return False
-        if self.config.supercharged:
-            for controller in self.cluster.healthy_replicas():
-                if len(controller.bgp.loc_rib) < expected:
-                    return False
-        if self.r1.fib_updater.is_busy or self.r1.fib_updater.queue_depth:
-            return False
-        if len(self.r1.fib) < expected:
-            return False
-        if not self.config.supercharged:
-            # Steady state means traffic is routed via the preferred provider.
-            sample = self.feed_r2.routes[0].prefix if self.feed_r2 else None
-            if sample is not None:
-                entry = self.r1.fib.entry(sample)
-                if entry is None or entry.adjacency.next_hop_ip != R2_CORE_IP:
-                    return False
-        return True
-
-    def _all_reachable(self) -> bool:
-        if self.monitor is None:
-            return True
-        return all(
-            self.monitor.is_reachable(destination)
-            for destination in self.monitored_destinations
-        )
-
-    # ------------------------------------------------------------------
-    # Internals
-    # ------------------------------------------------------------------
-    def _select_destinations(self, count: int) -> None:
-        """Pick ``count`` destinations among the advertised prefixes,
-        always including the first and last prefix (as the paper does)."""
-        if self.feed_r2 is None:
-            raise RuntimeError("load_feeds() must run before setup_monitoring()")
-        prefixes = self.feed_r2.prefixes()
-        chosen: List[IPv4Prefix] = []
-        if prefixes:
-            chosen.append(prefixes[0])
-        if len(prefixes) > 1:
-            chosen.append(prefixes[-1])
-        remaining = max(count - len(chosen), 0)
-        middle = prefixes[1:-1] if len(prefixes) > 2 else []
-        if middle and remaining:
-            picked = self.sim.random.sample(middle, min(remaining, len(middle)))
-            chosen.extend(picked)
-        self.monitored_destinations = []
-        self._destination_prefix = {}
-        for prefix in chosen:
-            destination = IPv4Address(prefix.network.value + 1)
-            self.monitored_destinations.append(destination)
-            self._destination_prefix[destination] = prefix
-
-    def _port_registry(self) -> Dict[int, object]:
-        registry: Dict[int, object] = {}
-        for router in (self.r1, self.r2, self.r3):
-            for interface in router.interfaces.values():
-                registry[id(interface.port)] = router
-        for port in self.switch.ports().values():
-            registry[id(port)] = self.switch
-        for interface in self.sink.interfaces.values():
-            registry[id(interface.port)] = self.sink
-        if self.cluster is not None:
-            for controller in self.cluster.replicas():
-                registry[id(controller.port)] = controller
-        return registry
-
-    def _failure_detector_session(self):
-        if self.config.supercharged:
-            if self.cluster is None:
-                return None
-            for controller in self.cluster.healthy_replicas():
-                session = controller.bfd.session(R2_CORE_IP)
-                if session is not None:
-                    return session
-            return None
-        if self.r1.bfd is None:
-            return None
-        return self.r1.bfd.session(R2_CORE_IP)
 
 
 def build_convergence_lab(

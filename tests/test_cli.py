@@ -61,3 +61,56 @@ def test_seed_is_a_global_option():
     parser = build_parser()
     arguments = parser.parse_args(["--seed", "7", "failover"])
     assert arguments.seed == 7
+
+
+def test_seed_accepted_after_subcommand():
+    parser = build_parser()
+    arguments = parser.parse_args(["failover", "--seed", "9"])
+    assert arguments.seed == 9
+
+
+def test_subcommand_without_seed_keeps_global_default():
+    parser = build_parser()
+    arguments = parser.parse_args(["failover"])
+    assert arguments.seed == 1
+
+
+def test_scenarios_list_command(capsys):
+    code = main(["scenarios", "list"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "figure4" in output
+    assert "fan" in output
+
+
+def test_scenarios_run_command(capsys):
+    code = main([
+        "scenarios", "run", "--preset", "figure4", "--prefixes", "30",
+        "--flows", "3", "--seed", "2",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "seed 2" in output
+    assert "max convergence" in output
+
+
+def test_scenarios_sweep_command_writes_report(capsys, tmp_path):
+    out = tmp_path / "report.json"
+    code = main([
+        "scenarios", "sweep", "--failures", "link_down", "none",
+        "--prefixes-grid", "25", "--flows", "3", "--output", str(out),
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "scenarios/s" in output
+    assert out.exists()
+
+
+def test_scenarios_sweep_random_mode(capsys):
+    code = main([
+        "scenarios", "sweep", "--random", "2", "--prefixes", "25",
+        "--flows", "3", "--seed", "5",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "random-fan-000" in output

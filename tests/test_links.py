@@ -143,3 +143,50 @@ def test_port_is_up_reflects_link_state(sim):
     assert a.is_up and b.is_up
     link.fail()
     assert not a.is_up and not b.is_up
+
+
+def test_drop_filter_loses_matching_frames(sim):
+    a, b, link = _wired_pair(sim)
+    received = []
+    b.set_frame_handler(lambda frame, port: received.append(frame))
+    link.set_drop_filter(lambda frame: True)
+    # The sender believes the frame was transmitted (lost on the wire).
+    assert a.send(_frame()) is True
+    sim.run()
+    assert received == []
+    assert link.frames_dropped == 1
+    assert a.frames_sent == 1
+
+
+def test_drop_filter_is_selective_and_clearable(sim):
+    a, b, link = _wired_pair(sim)
+    received = []
+    b.set_frame_handler(lambda frame, port: received.append(frame))
+    link.set_drop_filter(
+        lambda frame: getattr(frame.payload, "protocol", None) is IpProtocol.UDP
+    )
+    a.send(_frame())  # UDP payload: dropped
+    sim.run()
+    assert received == []
+    link.clear_drop_filter()
+    a.send(_frame())
+    sim.run()
+    assert len(received) == 1
+
+
+def test_clear_drop_filter_with_stale_predicate_is_ignored(sim):
+    a, b, link = _wired_pair(sim)
+    first = lambda frame: True
+    second = lambda frame: True
+    link.set_drop_filter(first)
+    link.set_drop_filter(second)
+    link.clear_drop_filter(first)   # stale clear: must not remove `second`
+    received = []
+    b.set_frame_handler(lambda frame, port: received.append(frame))
+    a.send(_frame())
+    sim.run()
+    assert received == []
+    link.clear_drop_filter(second)
+    a.send(_frame())
+    sim.run()
+    assert len(received) == 1

@@ -1,0 +1,145 @@
+"""Tests for grid expansion, the campaign runner and the generator."""
+
+import json
+
+import pytest
+
+from repro.scenarios.campaign import (
+    CampaignRunner,
+    expand_grid,
+    run_campaign,
+    run_scenario,
+)
+from repro.scenarios.generator import random_fan_specs
+from repro.scenarios.presets import get_preset
+from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError
+
+
+def _base(**overrides):
+    defaults = dict(num_prefixes=25, monitored_flows=3)
+    defaults.update(overrides)
+    return get_preset("figure4", **defaults)
+
+
+class TestExpandGrid:
+    def test_cartesian_product_size_and_names(self):
+        specs = expand_grid(
+            _base(), {"num_providers": [2, 3], "num_prefixes": [10, 20]}
+        )
+        assert len(specs) == 4
+        assert specs[0].name == "figure4/num_providers=2+num_prefixes=10"
+        assert specs[-1].name == "figure4/num_providers=3+num_prefixes=20"
+
+    def test_seeds_are_derived_per_scenario(self):
+        specs = expand_grid(_base(seed=10), {"num_prefixes": [10, 20, 30]})
+        assert [spec.seed for spec in specs] == [10, 11, 12]
+
+    def test_failure_key_expands_campaigns(self):
+        specs = expand_grid(_base(), {"failure": ["link_down", "none"]})
+        assert specs[0].failures[0].kind == "link_down"
+        assert specs[1].failures == []
+
+    def test_provider_count_override_resets_per_provider_lists(self):
+        specs = expand_grid(_base(), {"num_providers": [3]})
+        assert specs[0].provider_names is None
+        assert specs[0].provider_local_prefs is None
+
+    def test_unknown_grid_key_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            expand_grid(_base(), {"warp_factor": [9]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            expand_grid(_base(), {"num_prefixes": []})
+
+
+class TestRunScenario:
+    def test_record_is_deterministic(self):
+        spec = _base(seed=21)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first == second
+
+    def test_record_shape(self):
+        record = run_scenario(_base(seed=22))
+        assert record["converged"] and record["recovered"]
+        assert record["samples"] >= 3
+        assert record["max_ms"] >= record["median_ms"] >= 0
+        assert record["detection_ms"] is not None
+        assert record["failures"] == ["link_down"]
+
+    def test_no_failure_scenario_reports_zeroes(self):
+        record = run_scenario(_base(seed=23, failures=[]))
+        assert record["converged"]
+        assert record["max_ms"] == 0.0
+        assert record["events_fired"] == 0
+
+
+class TestCampaignRunner:
+    def test_pool_matches_serial_byte_for_byte(self):
+        specs = expand_grid(_base(), {"failure": ["link_down", "none"]})
+        serial = CampaignRunner(specs, workers=1).run()
+        pooled = CampaignRunner(specs, workers=2).run()
+        assert serial.scenarios_json() == pooled.scenarios_json()
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ScenarioSpecError):
+            CampaignRunner([], workers=1).run()
+
+    def test_report_structure_and_write(self, tmp_path):
+        result = run_campaign(_base(), {"num_prefixes": [10, 20]}, workers=1)
+        report = result.to_report()
+        assert set(report) == {"campaign", "scenarios", "aggregate"}
+        assert report["aggregate"]["scenarios"] == 2
+        assert report["campaign"]["workers"] == 1
+        path = tmp_path / "campaign.json"
+        result.write(str(path))
+        parsed = json.loads(path.read_text())
+        assert parsed["scenarios"] == report["scenarios"]
+
+    def test_table_lists_every_scenario(self):
+        result = run_campaign(_base(), {"num_prefixes": [10, 20]}, workers=1)
+        table = result.table()
+        for row in result.scenarios:
+            assert row["name"] in table
+
+
+class TestGenerator:
+    def test_same_seed_same_specs(self):
+        first = [spec.to_json() for spec in random_fan_specs(4, seed=33)]
+        second = [spec.to_json() for spec in random_fan_specs(4, seed=33)]
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        a = [spec.to_json() for spec in random_fan_specs(4, seed=33)]
+        b = [spec.to_json() for spec in random_fan_specs(4, seed=34)]
+        assert a != b
+
+    def test_specs_are_valid_and_prefix_stable(self):
+        specs = random_fan_specs(6, seed=35)
+        for spec in specs:
+            spec.validate()
+            assert 2 <= spec.num_providers <= 6
+        # Prefix-stability: the first N specs of a longer batch are identical.
+        longer = random_fan_specs(8, seed=35)
+        assert [s.to_json() for s in longer[:6]] == [s.to_json() for s in specs]
+
+    def test_scenario_seeds_are_decorrelated(self):
+        specs = random_fan_specs(3, seed=40)
+        assert [spec.seed for spec in specs] == [40, 41, 42]
+
+
+class TestReviewRegressions:
+    def test_seed_grid_axis_is_honoured(self):
+        specs = expand_grid(_base(seed=1), {"seed": [10, 20, 30]})
+        assert [spec.seed for spec in specs] == [10, 20, 30]
+
+    def test_detection_follows_failed_provider(self):
+        from repro.scenarios.spec import FailureSpec
+
+        spec = _base(
+            seed=3,
+            failures=[FailureSpec(kind="link_down", at=1.0, target="R3")],
+        )
+        record = run_scenario(spec)
+        assert record["detection_ms"] is not None

@@ -1,0 +1,131 @@
+"""Tests for the failure-injection engine."""
+
+import pytest
+
+from repro.scenarios.failures import FailureInjector
+from repro.scenarios.presets import get_preset
+from repro.scenarios.spec import FailureSpec, ScenarioSpecError
+from repro.scenarios.testbed import build_scenario
+from repro.sim.engine import Simulator
+
+
+def _converged_lab(seed=7, **overrides):
+    defaults = dict(num_prefixes=30, monitored_flows=3, failures=[])
+    defaults.update(overrides)
+    sim = Simulator(seed=seed)
+    lab = build_scenario(sim, get_preset("figure4", seed=seed, **defaults))
+    lab.start()
+    lab.load_feeds()
+    assert lab.wait_converged(timeout=600)
+    lab.setup_monitoring()
+    return lab
+
+
+def test_link_down_fires_at_scheduled_time():
+    lab = _converged_lab()
+    injector = FailureInjector(lab)
+    t0 = lab.sim.now
+    injector.arm([FailureSpec(kind="link_down", at=1.5)])
+    assert injector.first_failure_time is None
+    lab.sim.run_for(2.0)
+    assert injector.first_failure_time == pytest.approx(t0 + 1.5)
+    assert lab.last_failure_time == pytest.approx(t0 + 1.5)
+    assert not lab.provider_link(0).ports[0].is_up
+    assert lab.wait_recovered(timeout=600)
+
+
+def test_link_down_with_duration_auto_restores():
+    lab = _converged_lab(seed=8)
+    injector = FailureInjector(lab)
+    injector.arm([FailureSpec(kind="link_down", at=0.5, duration=1.0)])
+    lab.sim.run_for(0.8)
+    assert not lab.provider_link(0).ports[0].is_up
+    lab.sim.run_for(1.0)
+    assert lab.provider_link(0).ports[0].is_up
+    # Sessions are restarted: the lab reconverges onto the primary.
+    assert lab.run_until(lab._initially_converged, timeout=600)
+
+
+def test_link_flap_storm_recovers():
+    lab = _converged_lab(seed=9)
+    injector = FailureInjector(lab)
+    injector.arm([FailureSpec(kind="link_flap", at=0.5, count=3, period=0.2)])
+    lab.sim.run_for(2.0)
+    assert lab.provider_link(0).ports[0].is_up
+    # down+up logged per cycle, plus the arming record.
+    assert len(injector.log) >= 4
+    assert lab.wait_recovered(timeout=600)
+
+
+def test_bfd_loss_triggers_false_positive_without_outage():
+    lab = _converged_lab(seed=10)
+    controller = lab.controllers[0]
+    observed = []
+    controller.on_failure_handled(lambda peer, event: observed.append(peer))
+    injector = FailureInjector(lab)
+    injector.arm([FailureSpec(kind="bfd_loss", at=0.2, duration=0.5)])
+    lab.sim.run_for(3.0)
+    # The controller declared the primary dead although the link never went down.
+    assert observed and observed[0] == lab.plan.provider_core_ip(0)
+    assert lab.provider_link(0).ports[0].is_up
+    # Once the loss clears, BFD re-establishes.
+    session = controller.bfd.session(lab.plan.provider_core_ip(0))
+    assert session is not None and session.is_up
+    # Traffic never stopped flowing: every destination is still reachable.
+    assert all(lab.monitor.is_reachable(d) for d in lab.monitored_destinations)
+
+
+def test_session_reset_bounces_and_reestablishes():
+    lab = _converged_lab(seed=11)
+    controller = lab.controllers[0]
+    primary_ip = lab.plan.provider_core_ip(0)
+    assert primary_ip in controller.bgp.established_peers()
+    injector = FailureInjector(lab)
+    injector.arm([FailureSpec(kind="session_reset", at=0.2, duration=0.5)])
+    lab.sim.run_for(0.4)
+    assert primary_ip not in controller.bgp.established_peers()
+    lab.sim.run_for(5.0)
+    assert primary_ip in controller.bgp.established_peers()
+    assert lab.run_until(lab._initially_converged, timeout=600)
+
+
+def test_controller_crash_fails_replica():
+    lab = _converged_lab(seed=12, redundant_controllers=True)
+    injector = FailureInjector(lab)
+    injector.arm([FailureSpec(kind="controller_crash", at=0.2)])
+    lab.sim.run_for(0.5)
+    assert lab.cluster.is_failed("ctrl1")
+    assert len(lab.cluster.healthy_replicas()) == 1
+    assert lab.cluster.surviving_protection()
+    # A crash alone is not a data-plane failure, so it is not a measurement anchor.
+    assert injector.first_failure_time is None
+    # The surviving replica still converges the data plane on a real failure.
+    lab.fail_provider(0)
+    assert lab.wait_recovered(timeout=600)
+
+
+def test_unknown_target_rejected_at_fire_time():
+    lab = _converged_lab(seed=13)
+    injector = FailureInjector(lab)
+    with pytest.raises(ScenarioSpecError):
+        injector._resolve_link("R99")
+
+
+def test_arm_runs_spec_campaign_by_default():
+    lab = _converged_lab(seed=14)
+    lab.spec.failures.append(FailureSpec(kind="link_down", at=0.3))
+    injector = FailureInjector(lab)
+    handles = injector.arm()
+    assert len(handles) == 1
+    lab.sim.run_for(0.5)
+    assert injector.first_failure_time is not None
+
+
+def test_drop_filter_counts_dropped_frames():
+    lab = _converged_lab(seed=15)
+    link = lab.provider_link(0)
+    before = link.frames_dropped
+    link.set_drop_filter(lambda frame: True)
+    lab.sim.run_for(0.2)
+    assert link.frames_dropped > before
+    link.clear_drop_filter()

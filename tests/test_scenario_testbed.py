@@ -1,0 +1,173 @@
+"""Tests for the scenario testbed compiler (topology builders)."""
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.scenarios.presets import get_preset, preset_names
+from repro.scenarios.spec import ScenarioSpec
+from repro.scenarios.testbed import AddressPlan, ScenarioLab, build_scenario
+from repro.sim.engine import Simulator
+from repro.topology import lab as legacy
+
+
+class TestAddressPlan:
+    def test_matches_legacy_figure4_plan(self):
+        plan = AddressPlan(num_providers=2, num_edge_routers=1, num_controllers=2)
+        assert plan.edge_core_ip(0) == legacy.R1_CORE_IP
+        assert plan.edge_core_mac(0) == legacy.R1_CORE_MAC
+        assert plan.provider_core_ip(0) == legacy.R2_CORE_IP
+        assert plan.provider_core_ip(1) == legacy.R3_CORE_IP
+        assert plan.provider_core_mac(1) == legacy.R3_CORE_MAC
+        assert plan.sink_subnet(0) == legacy.SINK_R2_SUBNET
+        assert plan.sink_ip(1) == legacy.SINK_R3_IP
+        assert plan.controller_ip(0) == legacy.CONTROLLER_IP
+        assert plan.controller_ip(1) == legacy.CONTROLLER2_IP
+        assert plan.edge_switch_port(0) == legacy.SWITCH_PORT_R1
+        assert plan.provider_switch_port(0) == legacy.SWITCH_PORT_R2
+        assert plan.provider_switch_port(1) == legacy.SWITCH_PORT_R3
+        assert plan.controller_switch_port(0) == legacy.SWITCH_PORT_CONTROLLER
+        assert plan.controller_switch_port(1) == legacy.SWITCH_PORT_CONTROLLER2
+        assert plan.source_subnet(0) == legacy.SOURCE_SUBNET
+
+    def test_wide_fan_addresses_stay_unique(self):
+        plan = AddressPlan(num_providers=30, num_edge_routers=8, num_controllers=8)
+        addresses = [plan.edge_core_ip(j) for j in range(8)]
+        addresses += [plan.provider_core_ip(i) for i in range(30)]
+        addresses += [plan.controller_ip(k) for k in range(8)]
+        assert len(set(addresses)) == len(addresses)
+        for address in addresses:
+            assert plan.CORE_SUBNET.contains(address)
+            assert not plan.VNH_POOL.contains(address)
+        ports = [plan.edge_switch_port(j) for j in range(8)]
+        ports += [plan.provider_switch_port(i) for i in range(30)]
+        ports += [plan.controller_switch_port(k) for k in range(8)]
+        assert len(set(ports)) == len(ports)
+
+
+class TestFanTopology:
+    @pytest.fixture(scope="class")
+    def fan_lab(self):
+        sim = Simulator(seed=11)
+        spec = get_preset("fan", num_providers=4, num_prefixes=12, monitored_flows=3,
+                          failures=[])
+        return build_scenario(sim, spec)
+
+    def test_provider_fan_is_wired(self, fan_lab):
+        assert len(fan_lab.providers) == 4
+        for i in range(4):
+            name = fan_lab.spec.provider_name(i).lower()
+            assert f"{name}-sw" in fan_lab.links
+            assert f"{name}-sink" in fan_lab.links
+            assert f"from-{name}" in fan_lab.sink.interfaces
+
+    def test_primary_link_is_first_provider(self, fan_lab):
+        assert fan_lab.primary_link is fan_lab.provider_link(0)
+
+    def test_provider_lookup_by_name(self, fan_lab):
+        assert fan_lab.provider_index("p3") == 2
+        with pytest.raises(KeyError):
+            fan_lab.provider_index("nope")
+
+    def test_speaker_lookup_by_ip(self, fan_lab):
+        plan = fan_lab.plan
+        assert fan_lab.speaker_by_ip(plan.edge_core_ip(0)) is fan_lab.edge_routers[0].bgp
+        assert fan_lab.speaker_by_ip(plan.provider_core_ip(2)) is fan_lab.providers[2].bgp
+        assert fan_lab.speaker_by_ip(IPv4Address("10.0.0.250")) is None
+
+    def test_controller_peers_cover_all_providers(self, fan_lab):
+        controller = fan_lab.controllers[0]
+        peer_ips = {spec.ip for spec in controller.config.peers}
+        assert peer_ips == {fan_lab.plan.provider_core_ip(i) for i in range(4)}
+
+    def test_port_registry_covers_fan(self, fan_lab):
+        owners = {getattr(node, "name", "?") for node in fan_lab._port_registry().values()}
+        assert {"R1", "P1", "P2", "P3", "P4", "sw1", "sink", "ctrl1"} <= owners
+
+
+class TestFanFailover:
+    def test_fan_failover_converges_to_second_provider(self):
+        sim = Simulator(seed=5)
+        spec = get_preset("fan", num_providers=3, num_prefixes=40, monitored_flows=4,
+                          failures=[])
+        lab = build_scenario(sim, spec)
+        lab.start()
+        lab.load_feeds()
+        assert lab.wait_converged(timeout=600)
+        lab.setup_monitoring()
+        result = lab.run_single_failover()
+        assert result.samples
+        assert result.max_convergence < 1.0  # supercharged stays sub-second
+        assert result.detection_time is not None
+
+    def test_standalone_fan_prefers_primary_then_backup(self):
+        sim = Simulator(seed=6)
+        spec = ScenarioSpec(
+            name="fan-standalone", supercharged=False, num_providers=3,
+            num_prefixes=30, monitored_flows=3,
+        )
+        lab = build_scenario(sim, spec)
+        lab.start()
+        lab.load_feeds()
+        assert lab.wait_converged(timeout=600)
+        lab.setup_monitoring()
+        sample = lab.provider_feeds[0].routes[0].prefix
+        edge = lab.edge_routers[0]
+        assert edge.fib.entry(sample).adjacency.next_hop_ip == lab.plan.provider_core_ip(0)
+        lab.fail_provider(0)
+        assert lab.wait_recovered(timeout=600)
+        # After the primary died, the highest remaining preference wins.
+        assert edge.fib.entry(sample).adjacency.next_hop_ip == lab.plan.provider_core_ip(1)
+
+
+class TestMultiEdge:
+    def test_shared_controller_plane_converges(self):
+        sim = Simulator(seed=9)
+        spec = get_preset(
+            "shared-controller-plane", num_edge_routers=2, num_prefixes=25,
+            monitored_flows=3, failures=[],
+        )
+        lab = build_scenario(sim, spec)
+        assert len(lab.edge_routers) == 2
+        assert len(lab.controllers) == 2  # one per edge router
+        lab.start()
+        lab.load_feeds()
+        assert lab.wait_converged(timeout=600)
+        for edge in lab.edge_routers:
+            assert len(edge.fib) == 25
+
+
+class TestPresets:
+    def test_every_preset_produces_valid_spec(self):
+        for name in preset_names():
+            spec = get_preset(name)
+            assert isinstance(spec, ScenarioSpec)
+
+    def test_figure4_preset_matches_lab_config(self):
+        spec = get_preset("figure4")
+        lab_spec = legacy.LabConfig().to_scenario_spec()
+        assert spec.num_providers == lab_spec.num_providers
+        assert spec.provider_names == lab_spec.provider_names
+        assert spec.provider_local_prefs == lab_spec.provider_local_prefs
+        assert spec.supercharged and lab_spec.supercharged
+
+    def test_preset_overrides_forwarded(self):
+        spec = get_preset("figure4", num_prefixes=77, seed=42)
+        assert spec.num_prefixes == 77
+        assert spec.seed == 42
+
+    def test_unknown_preset_rejected(self):
+        from repro.scenarios.spec import ScenarioSpecError
+
+        with pytest.raises(ScenarioSpecError):
+            get_preset("figure6")
+
+
+class TestLegacyLabIsAPreset:
+    def test_convergence_lab_is_a_scenario_lab(self):
+        sim = Simulator(seed=3)
+        lab = legacy.ConvergenceLab(sim, legacy.LabConfig(num_prefixes=10)).build()
+        assert isinstance(lab, ScenarioLab)
+        assert lab.spec.provider_names == ["R2", "R3"]
+        assert lab.r2 is lab.providers[0]
+        assert lab.r3 is lab.providers[1]
+        assert lab.r1 is lab.edge_routers[0]

@@ -66,6 +66,69 @@ def test_cancel_twice_returns_false(sim):
     assert handle.cancel() is False
 
 
+def test_cancel_after_execution_is_a_noop(sim):
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run()
+    assert fired == [1]
+    assert handle.executed is True
+    # Cancelling an already-fired event must not pretend it was cancelled.
+    assert handle.cancel() is False
+    assert handle.cancelled is False
+    assert sim.events_executed == 1
+
+
+def test_schedule_at_current_time_is_allowed(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    fired = []
+    handle = sim.schedule_at(sim.now, lambda: fired.append(sim.now))
+    assert handle.time == 1.0
+    sim.run()
+    assert fired == [1.0]
+
+
+def test_schedule_at_past_timestamp_rejected_mid_run(sim):
+    # Scheduling into the past from *inside* a callback must fail too.
+    failures = []
+
+    def tries_to_rewind():
+        try:
+            sim.schedule_at(sim.now - 0.5, lambda: None)
+        except SimulationError as error:
+            failures.append(error)
+
+    sim.schedule(2.0, tries_to_rewind)
+    sim.run()
+    assert len(failures) == 1
+
+
+def test_equal_timestamp_fifo_survives_cancellations(sim):
+    order = []
+    handles = [
+        sim.schedule(1.0, lambda value=i: order.append(value)) for i in range(6)
+    ]
+    handles[1].cancel()
+    handles[4].cancel()
+    sim.run()
+    assert order == [0, 2, 3, 5]
+
+
+def test_equal_timestamp_fifo_across_nested_scheduling(sim):
+    order = []
+
+    def outer(tag):
+        order.append(tag)
+        # Same-timestamp events scheduled during execution run after the
+        # already-queued ones, in scheduling order.
+        sim.schedule(0.0, lambda: order.append(f"{tag}-child"))
+
+    sim.schedule(1.0, lambda: outer("a"))
+    sim.schedule(1.0, lambda: outer("b"))
+    sim.run()
+    assert order == ["a", "b", "a-child", "b-child"]
+
+
 def test_run_until_stops_before_later_events(sim):
     fired = []
     sim.schedule(1.0, lambda: fired.append("early"))
