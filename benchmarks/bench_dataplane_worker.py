@@ -1,0 +1,379 @@
+#!/usr/bin/env python3
+"""Fresh-subprocess worker for the dataplane benchmark.
+
+Runs every A/B measurement (legacy implementation vs. current fast path)
+adjacently inside this single, freshly started interpreter with gc
+disabled around the timed sections, then prints one JSON document to
+stdout.  See docs/performance.md for why measurements are done this way
+(heap-state sensitivity, GC pauses, adjacency).
+
+Invoked by benchmarks/test_bench_dataplane.py and
+benchmarks/write_dataplane_baseline.py as::
+
+    python benchmarks/bench_dataplane_worker.py '{"flowmods": 10000, ...}'
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import random
+import sys
+import time
+
+from _legacy_dataplane import (
+    LegacyFlowTable,
+    LegacyLpmTable,
+    LegacySimulator,
+)
+from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
+from repro.openflow.flow_table import Actions, FlowEntry, FlowMatch, FlowTable
+from repro.openflow.messages import FlowMod, FlowModCommand
+from repro.router.fib import LpmTable
+from repro.sim.engine import Simulator
+
+DEFAULTS = {
+    #: Entries in the bulk flow-mod install/modify measurement (new path).
+    "flowmods": 10000,
+    #: Cap for the *legacy* flow-table side.  The legacy design is
+    #: quadratic, so measuring it at a smaller size gives it a *higher*
+    #: throughput than it would reach at the full size — the reported
+    #: ratio is a conservative lower bound.  Full runs set this equal to
+    #: ``flowmods``.
+    "legacy_flowmod_cap": 3000,
+    #: Events in the engine schedule+dispatch measurements.
+    "events": 200000,
+    #: Prefixes in the LPM trie measurements.
+    "prefixes": 50000,
+    #: Best-of repeats for linear-cost sections.
+    "repeats": 3,
+    #: Best-of repeats for the quadratic legacy flow-table sections.
+    "flowmod_repeats": 2,
+}
+
+
+def best_of(repeats, fn):
+    """Best-of-N CPU time of ``fn`` with gc disabled during the timing.
+
+    CPU time (``time.process_time``) rather than wall time: these are
+    single-threaded compute loops, and on shared machines wall clocks
+    charge scheduler preemptions to whichever side happened to be running.
+    """
+    best = None
+    for _ in range(repeats):
+        gc.collect()
+        gc.disable()
+        started = time.process_time()
+        fn()
+        elapsed = time.process_time() - started
+        gc.enable()
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _flow_entries(count, priority=200):
+    return [
+        FlowEntry(
+            FlowMatch(eth_dst=MacAddress(0x020000000000 + i)),
+            Actions(output_port=1 + (i % 4)),
+            priority=priority,
+        )
+        for i in range(count)
+    ]
+
+
+def _flow_mods(count, command, port):
+    return [
+        FlowMod(
+            command,
+            FlowMatch(eth_dst=MacAddress(0x020000000000 + i)),
+            Actions(output_port=port),
+            priority=200,
+        )
+        for i in range(count)
+    ]
+
+
+def bench_flowmods(config):
+    """Bulk install / modify throughput: legacy loop vs. apply_batch."""
+    size = config["flowmods"]
+    legacy_size = min(config["legacy_flowmod_cap"], size)
+    repeats = config["flowmod_repeats"]
+    entries = _flow_entries(size)
+    legacy_entries = entries[:legacy_size]
+    add_mods = _flow_mods(size, FlowModCommand.ADD, port=1)
+    mod_mods = _flow_mods(size, FlowModCommand.MODIFY, port=7)
+
+    state = {}
+
+    def legacy_install():
+        table = LegacyFlowTable(capacity=size + 1)
+        for entry in legacy_entries:
+            table.install(entry)
+        state["legacy"] = table
+
+    def legacy_modify():
+        table = state["legacy"]
+        for entry in legacy_entries:
+            table.modify(entry.match, entry.priority, Actions(output_port=7))
+
+    def new_install_batch():
+        table = FlowTable(capacity=size + 1)
+        table.apply_batch(add_mods)
+        state["new"] = table
+
+    def new_install_singles():
+        table = FlowTable(capacity=size + 1)
+        for entry in entries:
+            table.install(entry)
+
+    def new_modify_batch():
+        state["new"].apply_batch(mod_mods)
+
+    legacy_install_s = best_of(repeats, legacy_install)
+    legacy_modify_s = best_of(repeats, legacy_modify)
+    state.pop("legacy")
+    new_install_batch_s = best_of(repeats, new_install_batch)
+    new_install_singles_s = best_of(repeats, new_install_singles)
+    new_modify_batch_s = best_of(repeats, new_modify_batch)
+    state.clear()
+
+    legacy_install_ops = legacy_size / legacy_install_s
+    legacy_modify_ops = legacy_size / legacy_modify_s
+    new_install_ops = size / new_install_batch_s
+    new_modify_ops = size / new_modify_batch_s
+    return {
+        "entries": size,
+        "legacy_entries": legacy_size,
+        "legacy_install_ops_per_s": round(legacy_install_ops),
+        "legacy_modify_ops_per_s": round(legacy_modify_ops),
+        "new_install_batch_ops_per_s": round(new_install_ops),
+        "new_install_singles_ops_per_s": round(size / new_install_singles_s),
+        "new_modify_batch_ops_per_s": round(new_modify_ops),
+        # Lower bounds when legacy_entries < entries (quadratic legacy
+        # measured at a size where it is faster per op).
+        "install_speedup": round(new_install_ops / legacy_install_ops, 2),
+        "modify_speedup": round(new_modify_ops / legacy_modify_ops, 2),
+    }
+
+
+def bench_events(config):
+    """Raw engine schedule+dispatch throughput, FIFO and random horizons."""
+    count = config["events"]
+    repeats = config["repeats"]
+
+    def noop():
+        pass
+
+    # FIFO/timer pattern: near-now delays in roughly increasing order —
+    # what BFD ticks, keepalives and link latencies actually produce.
+    fifo_delays = [i * 1e-6 for i in range(count)]
+    rng = random.Random(42)
+    random_delays = [rng.random() * 10.0 for _ in range(count)]
+    results = {}
+    for label, delays in (("fifo", fifo_delays), ("random", random_delays)):
+
+        def legacy_run():
+            sim = LegacySimulator()
+            for delay in delays:
+                sim.schedule(delay, noop)
+            sim.run()
+
+        def new_singles():
+            sim = Simulator()
+            for delay in delays:
+                sim.schedule(delay, noop)
+            sim.run()
+
+        def new_batch():
+            sim = Simulator()
+            sim.schedule_batch([(delay, noop) for delay in delays])
+            sim.run()
+
+        legacy_s = best_of(repeats, legacy_run)
+        singles_s = best_of(repeats, new_singles)
+        batch_s = best_of(repeats, new_batch)
+        results[label] = {
+            "events": count,
+            "legacy_events_per_s": round(count / legacy_s),
+            "new_singles_events_per_s": round(count / singles_s),
+            "new_batch_events_per_s": round(count / batch_s),
+            "singles_speedup": round(legacy_s / singles_s, 2),
+            "batch_speedup": round(legacy_s / batch_s, 2),
+        }
+    return results
+
+
+def bench_pending_counter(config):
+    """The pending_events satellite fix: O(n) scan vs. O(1) counter."""
+    queued = min(config["events"] // 10, 20000)
+    polls = 1000
+
+    def noop():
+        pass
+
+    legacy = LegacySimulator()
+    for i in range(queued):
+        legacy.schedule(i * 1e-6, noop)
+    new = Simulator()
+    new.schedule_batch([(i * 1e-6, noop) for i in range(queued)])
+
+    def poll_legacy():
+        for _ in range(polls):
+            legacy.pending_events
+
+    def poll_new():
+        for _ in range(polls):
+            new.pending_events
+
+    legacy_s = best_of(config["repeats"], poll_legacy)
+    new_s = best_of(config["repeats"], poll_new)
+    return {
+        "queued_events": queued,
+        "polls": polls,
+        "legacy_polls_per_s": round(polls / legacy_s),
+        "new_polls_per_s": round(polls / new_s),
+        "speedup": round(legacy_s / new_s, 1),
+    }
+
+
+def _prefix_set(count):
+    """Scattered mixed-length prefixes (a RIS-like table shape)."""
+    rng = random.Random(7)
+    prefixes = []
+    seen = set()
+    while len(prefixes) < count:
+        length = rng.choice((12, 14, 16, 18, 20, 22, 24, 24, 24))
+        net = rng.getrandbits(32) & IPv4Prefix.mask_for(length)
+        if (net, length) in seen:
+            continue
+        seen.add((net, length))
+        prefixes.append(IPv4Prefix(IPv4Address(net), length))
+    return prefixes
+
+
+def _count_legacy_nodes(table):
+    total = 0
+    stack = [table._root]
+    while stack:
+        node = stack.pop()
+        for child in node.children:
+            if child is not None:
+                total += 1
+                stack.append(child)
+    return total
+
+
+def bench_lpm(config):
+    """LPM trie insert/lookup/delete-churn throughput plus node counts."""
+    count = config["prefixes"]
+    repeats = config["repeats"]
+    prefixes = _prefix_set(count)
+    rng = random.Random(11)
+    addresses = [
+        IPv4Address(p.network.value | rng.getrandbits(32 - p.length))
+        for p in prefixes
+    ]
+    state = {}
+
+    def legacy_insert():
+        table = LegacyLpmTable()
+        for prefix in prefixes:
+            table.insert(prefix, prefix)
+        state["legacy"] = table
+
+    def legacy_lookup():
+        table = state["legacy"]
+        for address in addresses:
+            table.lookup(address)
+
+    def new_insert():
+        table = LpmTable()
+        for prefix in prefixes:
+            table.insert(prefix, prefix)
+        state["new"] = table
+
+    def new_lookup():
+        table = state["new"]
+        for address in addresses:
+            table.lookup(address)
+
+    legacy_insert_s = best_of(repeats, legacy_insert)
+    legacy_lookup_s = best_of(repeats, legacy_lookup)
+    new_insert_s = best_of(repeats, new_insert)
+    new_lookup_s = best_of(repeats, new_lookup)
+
+    legacy_nodes = _count_legacy_nodes(state["legacy"])
+    new_nodes = state["new"].node_count
+
+    # Rolling churn (RIS-replay shape): every round withdraws one window of
+    # prefixes and announces a fresh, disjoint window.  The legacy trie
+    # leaks the dead branches of every withdrawn window; the new trie
+    # prunes them, so its node count stays bounded.
+    rounds = 4
+    window = count // 4
+    extra = _prefix_set(count + rounds * window)[count:]
+    windows = [prefixes[: window]] + [
+        extra[r * window : (r + 1) * window] for r in range(rounds)
+    ]
+
+    def churn(table):
+        for r in range(rounds):
+            for prefix in windows[r]:
+                table.remove(prefix)
+            for prefix in windows[r + 1]:
+                table.insert(prefix, prefix)
+
+    churn_ops = 2 * rounds * window
+    legacy_churn_s = best_of(1, lambda: churn(state["legacy"]))
+    new_churn_s = best_of(1, lambda: churn(state["new"]))
+    legacy_nodes_after = _count_legacy_nodes(state["legacy"])
+    new_nodes_after = state["new"].node_count
+
+    return {
+        "prefixes": count,
+        "legacy_insert_ops_per_s": round(count / legacy_insert_s),
+        "new_insert_ops_per_s": round(count / new_insert_s),
+        "insert_speedup": round(legacy_insert_s / new_insert_s, 2),
+        "legacy_lookup_ops_per_s": round(count / legacy_lookup_s),
+        "new_lookup_ops_per_s": round(count / new_lookup_s),
+        "lookup_speedup": round(legacy_lookup_s / new_lookup_s, 2),
+        "churn_ops": churn_ops,
+        "legacy_churn_ops_per_s": round(churn_ops / legacy_churn_s),
+        "new_churn_ops_per_s": round(churn_ops / new_churn_s),
+        "churn_speedup": round(legacy_churn_s / new_churn_s, 2),
+        "legacy_trie_nodes": legacy_nodes,
+        "new_trie_nodes": new_nodes,
+        "node_reduction": round(legacy_nodes / max(new_nodes, 1), 1),
+        "legacy_trie_nodes_after_churn": legacy_nodes_after,
+        "new_trie_nodes_after_churn": new_nodes_after,
+        "legacy_node_growth": round(legacy_nodes_after / max(legacy_nodes, 1), 2),
+        "new_node_growth": round(new_nodes_after / max(new_nodes, 1), 2),
+    }
+
+
+def main() -> int:
+    config = dict(DEFAULTS)
+    if len(sys.argv) > 1:
+        config.update(json.loads(sys.argv[1]))
+    # Section order matters: the engine measurement runs first, on a clean
+    # interpreter heap — Python timing numbers sag measurably when a large
+    # workload (the 10k-entry tables, the 100k-prefix tries) has churned
+    # the heap in the same process (see docs/performance.md).  Within each
+    # section the legacy/new sides are still measured adjacently.
+    report = {
+        "config": config,
+        "python": sys.version.split()[0],
+        "events": bench_events(config),
+        "pending_events": bench_pending_counter(config),
+        "flowmods": bench_flowmods(config),
+        "lpm": bench_lpm(config),
+    }
+    json.dump(report, sys.stdout, indent=2, sort_keys=True)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -285,23 +285,40 @@ class SuperchargedController:
             self.update_processing_times.append(self._sim_perf_counter() - started)
 
     def _apply_actions(self, actions: List[ProvisioningAction]) -> None:
-        for action in actions:
+        index = 0
+        count = len(actions)
+        while index < count:
+            action = actions[index]
             if action.kind is ActionKind.GROUP_CREATED:
-                group = action.group
-                self.arp_responder.register(group.vnh, group.vmac)
+                # Batch a run of consecutive group creations into one REST
+                # call (one flow-mod bundle on the switch).
+                run: List = []
+                while (
+                    index < count
+                    and actions[index].kind is ActionKind.GROUP_CREATED
+                ):
+                    group = actions[index].group
+                    self.arp_responder.register(group.vnh, group.vmac)
+                    run.append(group)
+                    index += 1
                 if self.provisioner is not None:
-                    self.provisioner.provision_group(group)
-            elif action.kind is ActionKind.ANNOUNCE_VIRTUAL:
-                self._announce_to_router(action.prefix, action.next_hop)
-            elif action.kind is ActionKind.ANNOUNCE_REAL:
-                self._announce_to_router(action.prefix, action.next_hop)
-            elif action.kind is ActionKind.WITHDRAW:
-                self.bgp.withdraw_route(self.config.router_ip, action.prefix)
-                self.withdraws_relayed += 1
-            elif action.kind is ActionKind.GROUP_RETIRED:
-                self.arp_responder.unregister(action.group.vnh)
-                if self.provisioner is not None:
-                    self.provisioner.retire_group(action.group)
+                    self.provisioner.provision_groups(run)
+                continue
+            self._apply_single_action(action)
+            index += 1
+
+    def _apply_single_action(self, action: ProvisioningAction) -> None:
+        if action.kind is ActionKind.ANNOUNCE_VIRTUAL:
+            self._announce_to_router(action.prefix, action.next_hop)
+        elif action.kind is ActionKind.ANNOUNCE_REAL:
+            self._announce_to_router(action.prefix, action.next_hop)
+        elif action.kind is ActionKind.WITHDRAW:
+            self.bgp.withdraw_route(self.config.router_ip, action.prefix)
+            self.withdraws_relayed += 1
+        elif action.kind is ActionKind.GROUP_RETIRED:
+            self.arp_responder.unregister(action.group.vnh)
+            if self.provisioner is not None:
+                self.provisioner.retire_group(action.group)
 
     def _announce_to_router(self, prefix: IPv4Prefix, next_hop: IPv4Address) -> None:
         best = self.bgp.loc_rib.best(prefix)

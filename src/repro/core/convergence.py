@@ -41,15 +41,25 @@ class DataPlaneConvergence:
         self.events: List[ConvergenceEvent] = []
 
     def peer_down(self, failed_peer: IPv4Address, now: float) -> ConvergenceEvent:
-        """Redirect every group whose primary is ``failed_peer`` to its backup."""
+        """Redirect every group whose primary is ``failed_peer`` to its backup.
+
+        All redirections go to the switch as one batched flow-mod bundle
+        (:meth:`FlowProvisioner.redirect_groups`): the failover cost is one
+        REST round trip, not one per group.
+        """
         redirected: List[BackupGroup] = []
         unprotected = 0
+        protected: List = []
         for group in self._groups.groups_with_primary(failed_peer):
             backup = self._next_usable_backup(group, failed_peer)
             if backup is None:
                 unprotected += 1
                 continue
-            if self._provisioner.redirect_group(group, backup):
+            protected.append((group, backup))
+        for (group, _backup), ok in zip(
+            protected, self._provisioner.redirect_groups(protected)
+        ):
+            if ok:
                 redirected.append(group)
             else:
                 unprotected += 1
@@ -70,10 +80,13 @@ class DataPlaneConvergence:
         will also reconverge, but restoring the switch rules immediately
         returns traffic to the preferred (cheaper) provider.
         """
-        restored: List[BackupGroup] = []
-        for group in self._groups.groups_with_primary(peer):
-            if self._provisioner.redirect_group(group, group.primary):
-                restored.append(group)
+        groups = self._groups.groups_with_primary(peer)
+        outcomes = self._provisioner.redirect_groups(
+            [(group, group.primary) for group in groups]
+        )
+        restored: List[BackupGroup] = [
+            group for group, ok in zip(groups, outcomes) if ok
+        ]
         event = ConvergenceEvent(
             failed_peer=peer,
             triggered_at=now,

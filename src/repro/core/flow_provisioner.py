@@ -13,7 +13,7 @@ convergence procedure (Listing 2) flips it to the backup.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.backup_groups import BackupGroup
 from repro.core.rest_api import FloodlightRestApi, StaticFlowEntry
@@ -55,6 +55,55 @@ class FlowProvisioner:
     def redirect_group(self, group: BackupGroup, next_hop: IPv4Address) -> bool:
         """Point ``group`` at an arbitrary next hop (Listing 2 uses the backup)."""
         return self._point_group(group, next_hop)
+
+    def provision_groups(self, groups: Sequence[BackupGroup]) -> List[bool]:
+        """Install the rules of many groups through one batched REST call."""
+        return self.point_groups([(group, group.primary) for group in groups])
+
+    def redirect_groups(
+        self, redirections: Sequence[Tuple[BackupGroup, IPv4Address]]
+    ) -> List[bool]:
+        """Repoint many groups in one call (the batched Listing 2 path).
+
+        All rules that actually need rewriting go to the switch as a single
+        flow-mod bundle via :meth:`FloodlightRestApi.push_batch`, so a
+        backup-group failover costs one REST round trip no matter how many
+        groups the failed peer was primary for.  Returns one success flag
+        per ``(group, next_hop)`` pair, with the same per-pair semantics as
+        :meth:`redirect_group` (unknown next hop fails, already-programmed
+        is a no-op success).
+        """
+        results: List[bool] = []
+        entries: List[StaticFlowEntry] = []
+        for group, next_hop in redirections:
+            location = self._locate(next_hop)
+            if location is None:
+                results.append(False)
+                continue
+            if self._active_next_hop.get(group.vmac) == next_hop:
+                results.append(True)  # already programmed; no rule needed
+                continue
+            entries.append(
+                StaticFlowEntry(
+                    name=self._rule_name(group),
+                    eth_dst=group.vmac,
+                    set_eth_dst=location.mac,
+                    output_port=location.switch_port,
+                    priority=self.priority,
+                )
+            )
+            # Record intent immediately (mirrors _point_group) so a later
+            # pair for the same group in this batch dedups correctly.
+            self._active_next_hop[group.vmac] = next_hop
+            results.append(True)
+        if entries:
+            self._rest.push_batch(entries)
+            self.rules_pushed += len(entries)
+        return results
+
+    #: Alias emphasising the generic form: point arbitrary (group, next hop)
+    #: pairs in one batch.
+    point_groups = redirect_groups
 
     def retire_group(self, group: BackupGroup) -> bool:
         """Remove the rule of a retired group."""

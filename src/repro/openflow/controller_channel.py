@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable, List
 
-from repro.openflow.messages import FlowMod, PacketIn, PacketOut, PortStatus
+from repro.openflow.messages import FlowMod, FlowModBatch, PacketIn, PacketOut, PortStatus
 from repro.sim.engine import Simulator
 
 
@@ -46,6 +46,10 @@ class ControllerChannel:
     def send_flow_mod(self, flow_mod: FlowMod) -> None:
         """Deliver a flow-mod to the switch after the channel latency."""
         self._deliver_to_switch(flow_mod)
+
+    def send_flow_mod_batch(self, batch: FlowModBatch) -> None:
+        """Deliver a whole flow-mod bundle as one channel message."""
+        self._deliver_to_switch(batch)
 
     def send_packet_out(self, packet_out: PacketOut) -> None:
         """Deliver a packet-out to the switch after the channel latency."""

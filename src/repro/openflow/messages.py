@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.net.packets import EthernetFrame
 from repro.openflow.flow_table import Actions, FlowMatch
@@ -27,6 +27,22 @@ class FlowMod:
     actions: Optional[Actions] = None
     priority: int = 100
     cookie: int = 0
+
+
+@dataclass(frozen=True)
+class FlowModBatch:
+    """A bundle of flow-mods committed as one unit (OpenFlow bundles).
+
+    The switch programs the whole bundle after a single flow-mod latency
+    and applies it through
+    :meth:`~repro.openflow.flow_table.FlowTable.apply_batch`, so repointing
+    N backup-group rules costs one table transaction instead of N.
+    """
+
+    mods: Tuple[FlowMod, ...]
+
+    def __len__(self) -> int:
+        return len(self.mods)
 
 
 @dataclass(frozen=True)

@@ -29,6 +29,7 @@ from repro.openflow.flow_table import (
 )
 from repro.openflow.messages import (
     FlowMod,
+    FlowModBatch,
     FlowModCommand,
     PacketIn,
     PacketOut,
@@ -164,6 +165,8 @@ class OpenFlowSwitch:
     def _handle_controller_message(self, message: object) -> None:
         if isinstance(message, FlowMod):
             self._apply_flow_mod(message)
+        elif isinstance(message, FlowModBatch):
+            self._apply_flow_mod_batch(message)
         elif isinstance(message, PacketOut):
             self._forward(message.frame, message.out_port, in_port=-1)
 
@@ -200,6 +203,30 @@ class OpenFlowSwitch:
                 callback(flow_mod)
 
         self._sim.schedule(self.config.flow_mod_latency, program, name=f"{self.name}:flow-mod")
+
+    def _apply_flow_mod_batch(self, batch: FlowModBatch) -> None:
+        """Program a whole bundle after one flow-mod latency.
+
+        Bundle semantics: the mods are applied in order through
+        :meth:`FlowTable.apply_batch` in one table transaction, then the
+        flow-mod listeners fire once per mod (in bundle order), exactly as
+        they would for streamed singles.  As with streamed singles, a
+        TCAM overflow raises mid-bundle: earlier mods stay applied (and,
+        unlike singles, their listener callbacks do not fire).
+        """
+
+        def program() -> None:
+            self.flow_mods_applied += self.flow_table.apply_batch(
+                batch.mods, now=self._sim.now
+            )
+            listeners = list(self._flow_mod_listeners)
+            for flow_mod in batch.mods:
+                for callback in listeners:
+                    callback(flow_mod)
+
+        self._sim.schedule(
+            self.config.flow_mod_latency, program, name=f"{self.name}:flow-mod-batch"
+        )
 
     # ------------------------------------------------------------------
     # Port status

@@ -12,8 +12,14 @@ discussion:
   every dependent prefix; this is the expensive-hardware alternative the
   supercharged design replicates across two devices.
 
-Both are built on :class:`LpmTable`, a binary trie keyed on prefix bits
-providing longest-prefix-match lookups.
+Both are built on :class:`LpmTable`, a *path-compressed* binary trie
+(radix tree) providing longest-prefix-match lookups.  Each node carries
+its full masked network and depth, so walks compare whole bit segments
+with integer xor/shift instead of descending one node per bit, and chains
+with no branch points collapse into a single edge — a 100k-prefix table
+allocates ~2 nodes per stored prefix rather than one per bit.  ``remove``
+prunes emptied branches, so long insert/delete churn (RIS replay) does
+not grow memory without bound.
 """
 
 from __future__ import annotations
@@ -44,89 +50,172 @@ class FibEntry:
     updated_at: float = 0.0
 
 
-class _TrieNode(Generic[ValueT]):
-    """Node of the binary LPM trie."""
+# Trie nodes are plain 7-slot lists — C-speed index access beats attribute
+# access on the per-level hot path, and a list literal is the cheapest
+# allocation Python offers (node churn is constant during RIS replay).
+# Layout: [net, plen, child0, child1, value, has_value, prefix]; the child
+# for bit b lives at index 2 + b.  ``net``/``plen`` are the node's full
+# masked network and depth: a child may sit many bits below its parent
+# (the compressed chain), and the skipped segment is verified with one
+# xor/shift instead of a per-bit walk.  The canonical IPv4Prefix object is
+# kept in the node so a lookup returns it without allocating anything.
+_NET = 0
+_PLEN = 1
+_CHILD = 2  # child for bit b is node[_CHILD + b]
+_VALUE = 4
+_HAS_VALUE = 5
+_PREFIX = 6
 
-    __slots__ = ("children", "value", "has_value")
 
-    def __init__(self) -> None:
-        self.children: List[Optional["_TrieNode[ValueT]"]] = [None, None]
-        self.value: Optional[ValueT] = None
-        self.has_value = False
+def _new_node(net: int, plen: int) -> list:
+    return [net, plen, None, None, None, False, None]
 
 
 class LpmTable(Generic[ValueT]):
-    """Binary trie mapping IPv4 prefixes to arbitrary values with LPM lookup."""
+    """Path-compressed binary trie mapping IPv4 prefixes to values with LPM lookup."""
 
     def __init__(self) -> None:
-        self._root: _TrieNode[ValueT] = _TrieNode()
+        self._root: list = _new_node(0, 0)
         self._count = 0
-
-    @staticmethod
-    def _bits(prefix: IPv4Prefix) -> Iterator[int]:
-        network = prefix.network.value
-        for position in range(prefix.length):
-            yield (network >> (31 - position)) & 1
 
     def insert(self, prefix: IPv4Prefix, value: ValueT) -> bool:
         """Insert or replace; returns ``True`` when the prefix was new."""
+        net = prefix.network.value
+        plen = prefix.length
         node = self._root
-        for bit in self._bits(prefix):
-            if node.children[bit] is None:
-                node.children[bit] = _TrieNode()
-            node = node.children[bit]
-        was_new = not node.has_value
-        node.value = value
-        node.has_value = True
-        if was_new:
+        while True:
+            node_plen = node[1]
+            if node_plen == plen:
+                # By construction node[_NET] == net here.
+                was_new = not node[5]
+                node[4] = value
+                node[5] = True
+                node[6] = prefix
+                if was_new:
+                    self._count += 1
+                return was_new
+            bit = (net >> (31 - node_plen)) & 1
+            child = node[2 + bit]
+            if child is None:
+                node[2 + bit] = [net, plen, None, None, value, True, prefix]
+                self._count += 1
+                return True
+            child_net = child[0]
+            child_plen = child[1]
+            # Longest common prefix of the target and the child's segment.
+            diff = net ^ child_net
+            if diff:
+                common = 32 - diff.bit_length()
+                if common > plen:
+                    common = plen
+                if common > child_plen:
+                    common = child_plen
+            else:
+                common = plen if plen < child_plen else child_plen
+            if common == child_plen:
+                node = child  # the child's whole segment matches; descend
+                continue
+            # Split the compressed edge at the divergence point.
+            mid = _new_node(child_net & IPv4Prefix.mask_for(common), common)
+            node[2 + bit] = mid
+            mid[2 + ((child_net >> (31 - common)) & 1)] = child
+            if common == plen:
+                # The target prefix *is* the split point.
+                mid[4] = value
+                mid[5] = True
+                mid[6] = prefix
+            else:
+                mid[2 + ((net >> (31 - common)) & 1)] = [
+                    net, plen, None, None, value, True, prefix,
+                ]
             self._count += 1
-        return was_new
+            return True
 
     def remove(self, prefix: IPv4Prefix) -> bool:
-        """Remove the exact prefix; returns whether it was present."""
+        """Remove the exact prefix; returns whether it was present.
+
+        Emptied branches are pruned and pass-through nodes re-compressed,
+        so delete churn never leaves dead nodes behind.
+        """
+        net = prefix.network.value
+        plen = prefix.length
         node = self._root
-        for bit in self._bits(prefix):
-            if node.children[bit] is None:
+        path: List[Tuple[list, int]] = []  # (parent, child slot index)
+        while node[1] < plen:
+            slot = 2 + ((net >> (31 - node[1])) & 1)
+            child = node[slot]
+            if child is None or child[1] > plen or (net ^ child[0]) >> (32 - child[1]):
                 return False
-            node = node.children[bit]
-        if not node.has_value:
+            path.append((node, slot))
+            node = child
+        if node[1] != plen or node[0] != net or not node[5]:
             return False
-        node.has_value = False
-        node.value = None
+        node[5] = False
+        node[4] = None
+        node[6] = None
         self._count -= 1
+        # Prune upward: drop empty leaves, splice out valueless
+        # single-child pass-through nodes (restoring path compression).
+        while path:
+            parent, slot = path.pop()
+            if node[5]:
+                break
+            left = node[2]
+            right = node[3]
+            if left is not None and right is not None:
+                break  # still a real branch point
+            survivor = left if left is not None else right
+            parent[slot] = survivor  # None when the node was a leaf
+            if survivor is not None:
+                break  # splice done; the parent kept its child count
+            node = parent
         return True
 
     def exact(self, prefix: IPv4Prefix) -> Optional[ValueT]:
         """Value stored for exactly this prefix, if any."""
+        net = prefix.network.value
+        plen = prefix.length
         node = self._root
-        for bit in self._bits(prefix):
-            if node.children[bit] is None:
+        while node[1] < plen:
+            child = node[2 + ((net >> (31 - node[1])) & 1)]
+            if child is None or child[1] > plen or (net ^ child[0]) >> (32 - child[1]):
                 return None
-            node = node.children[bit]
-        return node.value if node.has_value else None
+            node = child
+        if node[1] != plen or node[0] != net:
+            return None
+        return node[4] if node[5] else None
 
     def lookup(self, address: IPv4Address) -> Optional[Tuple[IPv4Prefix, ValueT]]:
         """Longest-prefix match for ``address``."""
-        node = self._root
-        best: Optional[Tuple[int, ValueT]] = None
         value = address.value
-        depth = 0
-        if node.has_value:
-            best = (0, node.value)
-        while depth < 32:
-            bit = (value >> (31 - depth)) & 1
-            child = node.children[bit]
-            if child is None:
+        node = self._root
+        best = None
+        while True:
+            if node[5]:
+                best = node
+            node_plen = node[1]
+            if node_plen == 32:
+                break
+            child = node[2 + ((value >> (31 - node_plen)) & 1)]
+            if child is None or (value ^ child[0]) >> (32 - child[1]):
                 break
             node = child
-            depth += 1
-            if node.has_value:
-                best = (depth, node.value)
         if best is None:
             return None
-        length, matched_value = best
-        masked = value & IPv4Prefix.mask_for(length)
-        return IPv4Prefix(IPv4Address(masked), length), matched_value
+        return best[6], best[4]
+
+    @property
+    def node_count(self) -> int:
+        """Number of live trie nodes, root excluded (memory diagnostics)."""
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            for child in (node[2], node[3]):
+                if child is not None:
+                    total += 1
+                    stack.append(child)
+        return total
 
     def __len__(self) -> int:
         return self._count

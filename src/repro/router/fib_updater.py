@@ -116,9 +116,26 @@ class FibUpdater:
             )
 
     def enqueue_many(self, requests: List[FibWriteRequest]) -> None:
-        """Queue a batch of writes preserving order."""
-        for request in requests:
-            self.enqueue(request.prefix, request.adjacency)
+        """Queue a batch of writes preserving order.
+
+        The batched write path: the whole list lands on the queue in one
+        ``deque.extend`` with a single busy check, instead of re-testing
+        the drain state once per entry.  Timing is identical to enqueueing
+        the requests one at a time (the first entry of an idle-to-busy
+        batch still pays ``first_entry_latency``).
+        """
+        if not requests:
+            return
+        was_idle = not self._busy
+        self._queue.extend(requests)
+        if was_idle:
+            self._busy = True
+            self._pending_event = self._sim.schedule(
+                self.config.first_entry_latency, self._apply_next, name=f"{self.name}:first"
+            )
+
+    #: Alias matching the flow-table/engine batch naming.
+    enqueue_batch = enqueue_many
 
     def flush_immediately(self) -> None:
         """Apply every queued write *now*, bypassing the hardware latency.

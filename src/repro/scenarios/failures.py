@@ -67,7 +67,7 @@ class FailureInjector:
         """
         events = list(failures) if failures is not None else list(self.lab.spec.failures)
         t0 = self.lab.sim.now if start is None else start
-        handles: List[EventHandle] = []
+        items = []
         for failure in events:
             failure.validate()
             delay = t0 + failure.at - self.lab.sim.now
@@ -75,14 +75,16 @@ class FailureInjector:
                 raise ScenarioSpecError(
                     f"failure at {t0 + failure.at} is already in the past"
                 )
-            handles.append(
-                self.lab.sim.schedule(
+            items.append(
+                (
                     delay,
                     lambda f=failure: self._fire(f),
-                    name=f"failure:{failure.kind}:{failure.target or 'primary'}",
+                    f"failure:{failure.kind}:{failure.target or 'primary'}",
                 )
             )
-        return handles
+        # One schedule_batch call arms the whole campaign (and nothing is
+        # armed at all if any spec in the list is invalid).
+        return self.lab.sim.schedule_batch(items)
 
     # ------------------------------------------------------------------
     # Dispatch

@@ -3,65 +3,89 @@
 Time is a float number of **seconds** since the start of the simulation.
 Components schedule callbacks at absolute or relative times; the engine
 executes them in timestamp order (FIFO among equal timestamps).
+
+The hot path is deliberately lean:
+
+* Queue entries are plain ``(time, seq, callback, event)`` tuples, so
+  every ordering comparison is a C-level tuple compare that stops at the
+  unique sequence number; the event records are single ``__slots__``
+  objects that double as their own handles (no ``@dataclass(order=True)``
+  comparison methods, no second handle allocation).
+* The queue itself is **two lanes**: timers that arrive in timestamp
+  order — the overwhelming majority in a network simulation (link
+  latencies, BFD ticks, keepalives all fire a fixed delta from *now*,
+  which only moves forward) — are appended to a sorted *tail* lane and
+  consumed by pointer, O(1) in and out with no heap sifting.  Only
+  out-of-order arrivals go to the binary-heap lane.  The next event is
+  whichever lane's head has the smaller ``(time, seq)``, so execution
+  order is exactly that of a single priority queue.
+* ``pending_events`` is O(1) (lane lengths minus a live cancelled
+  count), and :meth:`Simulator.schedule_batch` amortises the per-call
+  overhead for components that arm many events at once (failure
+  campaigns, traffic flows).
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
 import math
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from heapq import heappop, heappush
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+_isfinite = math.isfinite
+_INF = float("inf")
+
+#: Compact the tail lane when this many consumed entries pile up.
+_TAIL_COMPACT = 8192
+
+#: A queue entry: (time, sequence, callback, event).
+_Entry = Tuple[float, int, Callable[[], None], "Event"]
 
 
 class SimulationError(RuntimeError):
     """Raised for invalid scheduling requests or a corrupted event queue."""
 
 
-@dataclass(order=True)
 class Event:
-    """A single scheduled callback.
+    """A single scheduled callback; it doubles as its own handle.
 
-    Events are ordered by ``(time, sequence)`` so that events scheduled for
-    the same instant run in the order they were scheduled (deterministic
-    FIFO tie-breaking, which matters for reproducibility).
+    Events are ordered by ``(time, sequence)`` — the queue tuples carry
+    those two keys — so that events scheduled for the same instant run in
+    the order they were scheduled (deterministic FIFO tie-breaking, which
+    matters for reproducibility).
+
+    The schedule/step hot path allocates exactly one object per event:
+    the record :meth:`Simulator.schedule` returns *is* the handle
+    (``EventHandle`` is an alias), exposing ``time``/``name``/
+    ``cancelled``/``executed`` and :meth:`cancel`.
     """
 
-    time: float
-    sequence: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    executed: bool = field(default=False, compare=False)
+    __slots__ = (
+        "time",
+        "sequence",
+        "callback",
+        "name",
+        "cancelled",
+        "executed",
+        "_sim",
+        "_epoch",
+    )
 
-
-class EventHandle:
-    """Handle returned by :meth:`Simulator.schedule`, used to cancel events."""
-
-    __slots__ = ("_event",)
-
-    def __init__(self, event: Event) -> None:
-        self._event = event
-
-    @property
-    def time(self) -> float:
-        """Absolute simulation time at which the event fires."""
-        return self._event.time
-
-    @property
-    def name(self) -> str:
-        """Human-readable label given at scheduling time."""
-        return self._event.name
-
-    @property
-    def cancelled(self) -> bool:
-        """Whether the event was cancelled before execution."""
-        return self._event.cancelled
-
-    @property
-    def executed(self) -> bool:
-        """Whether the event has already run."""
-        return self._event.executed
+    def __init__(
+        self,
+        time: float,
+        sequence: int,
+        callback: Callable[[], None],
+        name: str = "",
+        sim: Optional["Simulator"] = None,
+    ) -> None:
+        self.time = time
+        self.sequence = sequence
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self.executed = False
+        self._sim = sim
+        self._epoch = sim._epoch if sim is not None else 0
 
     def cancel(self) -> bool:
         """Cancel the event.
@@ -70,10 +94,20 @@ class EventHandle:
         Cancelling an already-executed event is a harmless no-op returning
         ``False``.
         """
-        if self._event.cancelled or self._event.executed:
+        if self.cancelled or self.executed:
             return False
-        self._event.cancelled = True
+        self.cancelled = True
+        # Track cancelled-but-still-queued events so pending_events stays
+        # O(1); a reset() in between (epoch bump) means the event left the
+        # queue and must not be counted.
+        sim = self._sim
+        if sim is not None and self._epoch == sim._epoch:
+            sim._cancelled += 1
         return True
+
+
+#: Backwards-compatible name: the event record is its own handle.
+EventHandle = Event
 
 
 class Simulator:
@@ -92,9 +126,18 @@ class Simulator:
         from repro.sim.random import SeededRandom
 
         self._now = 0.0
-        self._queue: List[Event] = []
-        self._sequence = itertools.count()
+        #: Out-of-order lane: a binary heap of entries.
+        self._heap: List[_Entry] = []
+        #: In-order lane: entries sorted by construction, consumed from
+        #: ``_tail_pos`` (the already-consumed prefix is compacted away
+        #: periodically).
+        self._tail: List[_Entry] = []
+        self._tail_pos = 0
+        self._sequence = 0
         self._executed = 0
+        #: Cancelled events still sitting in a lane (lazily discarded).
+        self._cancelled = 0
+        self._epoch = 0
         self._running = False
         self.random = SeededRandom(seed)
         #: Free-form registry components may use to find each other by name.
@@ -115,8 +158,12 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of not-yet-cancelled events still in the queue.
+
+        O(1): the lane lengths minus a live count of cancelled-but-queued
+        events (maintained on cancel and lazy discard), not a scan.
+        """
+        return len(self._heap) + len(self._tail) - self._tail_pos - self._cancelled
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -131,11 +178,22 @@ class Simulator:
 
         ``delay`` must be non-negative and finite.
         """
-        if delay < 0:
-            raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        if not math.isfinite(delay):
+        # One compound range check covers negative, inf and nan without a
+        # math.isfinite call on the hot path.
+        if not 0.0 <= delay < _INF:
+            if delay < 0:
+                raise SimulationError(f"cannot schedule in the past (delay={delay})")
             raise SimulationError(f"delay must be finite, got {delay}")
-        return self.schedule_at(self._now + delay, callback, name)
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        when = self._now + delay
+        event = Event(when, sequence, callback, name, self)
+        tail = self._tail
+        if not tail or when >= tail[-1][0]:
+            tail.append((when, sequence, callback, event))
+        else:
+            heappush(self._heap, (when, sequence, callback, event))
+        return event
 
     def schedule_at(
         self,
@@ -148,15 +206,125 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at {when} which is before now ({self._now})"
             )
-        if not math.isfinite(when):
+        if not _isfinite(when):
             raise SimulationError(f"time must be finite, got {when}")
-        event = Event(when, next(self._sequence), callback, name)
-        heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        return self._push(when, callback, name)
+
+    def schedule_batch(
+        self,
+        items: Iterable[Sequence],
+    ) -> List[EventHandle]:
+        """Schedule many callbacks in one call.
+
+        ``items`` is an iterable of ``(delay, callback)`` or ``(delay,
+        callback, name)`` tuples; delays are relative to the current
+        instant, exactly as :meth:`schedule`.  Events are created in
+        iteration order, so FIFO tie-breaking among equal timestamps is
+        identical to a loop of individual :meth:`schedule` calls — a batch
+        is an overhead optimisation, never a semantic change.  Used by the
+        failure injector (arming a whole campaign) and the traffic
+        generator (starting every flow at once).
+        """
+        now = self._now
+        heap = self._heap
+        tail = self._tail
+        tail_append = tail.append
+        last = tail[-1][0] if tail else None
+        sequence = self._sequence
+        handles: List[EventHandle] = []
+        append = handles.append
+        for item in items:
+            delay = item[0]
+            if not 0.0 <= delay < _INF:
+                self._sequence = sequence
+                if delay < 0:
+                    raise SimulationError(f"cannot schedule in the past (delay={delay})")
+                raise SimulationError(f"delay must be finite, got {delay}")
+            callback = item[1]
+            when = now + delay
+            event = Event(when, sequence, callback, item[2] if len(item) > 2 else "", self)
+            if last is None or when >= last:
+                tail_append((when, sequence, callback, event))
+                last = when
+            else:
+                heappush(heap, (when, sequence, callback, event))
+            sequence += 1
+            append(event)
+        self._sequence = sequence
+        return handles
 
     def call_soon(self, callback: Callable[[], None], name: str = "") -> EventHandle:
         """Schedule ``callback`` at the current instant (after pending same-time events)."""
-        return self.schedule(0.0, callback, name)
+        return self._push(self._now, callback, name)
+
+    def _push(self, when: float, callback: Callable[[], None], name: str) -> EventHandle:
+        sequence = self._sequence
+        self._sequence = sequence + 1
+        event = Event(when, sequence, callback, name, self)
+        tail = self._tail
+        if not tail or when >= tail[-1][0]:
+            tail.append((when, sequence, callback, event))
+        else:
+            heappush(self._heap, (when, sequence, callback, event))
+        return event
+
+    # ------------------------------------------------------------------
+    # Queue head selection
+    # ------------------------------------------------------------------
+    def _take(self) -> Optional[_Entry]:
+        """Remove and return the next non-cancelled entry, or ``None``."""
+        heap = self._heap
+        tail = self._tail
+        while True:
+            pos = self._tail_pos
+            if pos < len(tail):
+                entry = tail[pos]
+                if heap and heap[0] < entry:
+                    entry = heappop(heap)
+                else:
+                    pos += 1
+                    if pos == len(tail):
+                        tail.clear()
+                        pos = 0
+                    elif pos > _TAIL_COMPACT:
+                        del tail[:pos]
+                        pos = 0
+                    self._tail_pos = pos
+            elif heap:
+                entry = heappop(heap)
+            else:
+                return None
+            if entry[3].cancelled:
+                self._cancelled -= 1
+                continue
+            return entry
+
+    def _peek(self) -> Optional[Event]:
+        """Return the next non-cancelled event without removing it."""
+        heap = self._heap
+        tail = self._tail
+        while True:
+            pos = self._tail_pos
+            t_entry = tail[pos] if pos < len(tail) else None
+            if heap:
+                h_entry = heap[0]
+                if t_entry is None or h_entry < t_entry:
+                    if h_entry[3].cancelled:
+                        heappop(heap)
+                        self._cancelled -= 1
+                        continue
+                    return h_entry[3]
+            elif t_entry is None:
+                return None
+            if t_entry[3].cancelled:
+                pos += 1
+                if pos == len(tail):
+                    tail.clear()
+                    pos = 0
+                self._tail_pos = pos
+                self._cancelled -= 1
+                continue
+            return t_entry[3]
 
     # ------------------------------------------------------------------
     # Execution
@@ -167,18 +335,17 @@ class Simulator:
         Returns ``True`` if an event was executed, ``False`` if the queue
         was empty (cancelled events are skipped silently).
         """
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
-                continue
-            if event.time < self._now:
-                raise SimulationError("event queue corrupted: time went backwards")
-            self._now = event.time
-            self._executed += 1
-            event.executed = True
-            event.callback()
-            return True
-        return False
+        entry = self._take()
+        if entry is None:
+            return False
+        when, _sequence, callback, event = entry
+        if when < self._now:
+            raise SimulationError("event queue corrupted: time went backwards")
+        self._now = when
+        self._executed += 1
+        event.executed = True
+        callback()
+        return True
 
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Run events until the queue drains, ``until`` is reached, or ``max_events``.
@@ -191,21 +358,70 @@ class Simulator:
             raise SimulationError("simulator is already running (reentrant run())")
         self._running = True
         executed = 0
+        heap = self._heap
+        tail = self._tail
+        pop = heappop
         try:
-            while self._queue:
+            if until is None and max_events is None:
+                # Pure drain: the common case, inlined lane selection and
+                # no bound checks.  The executed counter is accumulated
+                # locally and flushed as a delta in the finally block (a
+                # callback that drives the clock itself via step() stays
+                # correctly counted).
+                while True:
+                    pos = self._tail_pos
+                    if pos < len(tail):
+                        entry = tail[pos]
+                        if heap and heap[0] < entry:
+                            entry = pop(heap)
+                        else:
+                            pos += 1
+                            if pos == len(tail):
+                                tail.clear()
+                                pos = 0
+                            elif pos > _TAIL_COMPACT:
+                                del tail[:pos]
+                                pos = 0
+                            self._tail_pos = pos
+                    elif heap:
+                        entry = pop(heap)
+                    else:
+                        break
+                    when, _sequence, callback, event = entry
+                    if event.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    if when < self._now:
+                        raise SimulationError(
+                            "event queue corrupted: time went backwards"
+                        )
+                    self._now = when
+                    executed += 1
+                    event.executed = True
+                    callback()
+                return self._now
+            while True:
                 if max_events is not None and executed >= max_events:
                     break
-                next_event = self._peek()
-                if next_event is None:
+                head = self._peek()
+                if head is None:
                     break
-                if until is not None and next_event.time > until:
+                if until is not None and head.time > until:
                     break
-                if self.step():
-                    executed += 1
+                entry = self._take()
+                when = entry[0]
+                if when < self._now:
+                    raise SimulationError("event queue corrupted: time went backwards")
+                self._now = when
+                executed += 1
+                event = entry[3]
+                event.executed = True
+                entry[2]()
             if until is not None and until > self._now:
                 self._now = until
             return self._now
         finally:
+            self._executed += executed
             self._running = False
 
     def run_for(self, duration: float, max_events: Optional[int] = None) -> float:
@@ -213,12 +429,6 @@ class Simulator:
         if duration < 0:
             raise SimulationError(f"duration must be non-negative, got {duration}")
         return self.run(until=self._now + duration, max_events=max_events)
-
-    def _peek(self) -> Optional[Event]:
-        """Return the next non-cancelled event without removing it."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
 
     # ------------------------------------------------------------------
     # Introspection helpers
@@ -230,6 +440,11 @@ class Simulator:
 
     def reset(self) -> None:
         """Drop all pending events and rewind the clock to zero."""
-        self._queue.clear()
+        self._heap.clear()
+        self._tail.clear()
+        self._tail_pos = 0
         self._now = 0.0
         self._executed = 0
+        self._cancelled = 0
+        # Invalidate outstanding handles' claim on the cancelled counter.
+        self._epoch += 1
