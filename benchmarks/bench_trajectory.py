@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Append a dated entry to the data-plane perf trajectory.
+
+The ROADMAP asks for ``BENCH_dataplane.json`` to grow into a *per-PR perf
+trajectory*.  This script is the recording tool: it runs the fresh-
+subprocess A/B measurement (smoke-size by default; honour
+``DATAPLANE_FULL=1`` for baseline-size numbers), reduces the report to the
+headline speedups, and appends one dated JSON line to
+``BENCH_trajectory.jsonl``.  CI runs it on every PR and uploads the line
+plus the full report as a build artifact; comparing artifacts over time
+(or committed lines, when regenerating the baseline) gives the
+trajectory.
+
+Usage::
+
+    python benchmarks/bench_trajectory.py [--output BENCH_trajectory.jsonl]
+        [--report bench_report.json] [--from-baseline]
+
+``--from-baseline`` skips the measurement and derives the entry from the
+committed ``BENCH_dataplane.json`` instead (used to seed the trajectory).
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+
+from benchmarks.test_bench_dataplane import (  # noqa: E402
+    BASELINE_PATH,
+    CONFIG,
+    REPO_ROOT,
+    run_worker,
+)
+
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_trajectory.jsonl")
+
+
+def _git_sha() -> str:
+    try:
+        completed = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+            check=False,
+        )
+        return completed.stdout.strip() or "unknown"
+    except OSError:
+        return "unknown"
+
+
+def summarise(report: dict) -> dict:
+    """The headline ratios tracked across PRs."""
+    flow = report["flowmods"]
+    fifo = report["events"]["fifo"]
+    rand = report["events"]["random"]
+    lpm = report["lpm"]
+    return {
+        "flowmod_install_speedup": flow["install_speedup"],
+        "flowmod_modify_speedup": flow["modify_speedup"],
+        "events_fifo_speedup": fifo["singles_speedup"],
+        "events_random_speedup": rand["singles_speedup"],
+        "lpm_lookup_speedup": lpm["lookup_speedup"],
+        "trie_nodes": lpm["new_trie_nodes"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--output", default=TRAJECTORY_PATH,
+                        help="trajectory file to append the dated entry to")
+    parser.add_argument("--report", default=None,
+                        help="also write the full measurement report here")
+    parser.add_argument("--from-baseline", action="store_true",
+                        help="derive the entry from the committed"
+                             " BENCH_dataplane.json instead of measuring")
+    parser.add_argument("--from-report", default=None, metavar="PATH",
+                        help="derive the entry from an existing measurement"
+                             " report (e.g. one written via DATAPLANE_REPORT)"
+                             " instead of measuring")
+    parser.add_argument("--label", default=None,
+                        help="free-form label stored with the entry")
+    arguments = parser.parse_args()
+
+    if arguments.from_baseline:
+        with open(BASELINE_PATH, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        source = "committed-baseline"
+    elif arguments.from_report:
+        with open(arguments.from_report, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        source = "smoke" if os.environ.get("DATAPLANE_SMOKE") == "1" else "report"
+    else:
+        report = run_worker(CONFIG)
+        source = "smoke" if os.environ.get("DATAPLANE_SMOKE") == "1" else (
+            "full" if os.environ.get("DATAPLANE_FULL") == "1" else "default"
+        )
+
+    entry = {
+        "date": datetime.date.today().isoformat(),
+        "sha": _git_sha(),
+        "source": source,
+        "python": ".".join(str(part) for part in sys.version_info[:3]),
+        **summarise(report),
+    }
+    if arguments.label:
+        entry["label"] = arguments.label
+    with open(arguments.output, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(entry, sort_keys=True))
+        handle.write("\n")
+    if arguments.report:
+        with open(arguments.report, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+    print(f"appended trajectory entry to {arguments.output}: {entry}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

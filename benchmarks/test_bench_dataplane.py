@@ -94,6 +94,13 @@ def test_dataplane_fastpath(benchmark):
     """Fresh-subprocess A/B of the three rewritten layers."""
     result = benchmark.pedantic(lambda: run_worker(CONFIG), rounds=1, iterations=1)
     _RESULT["report"] = result
+    # Persist the measured report when asked (CI feeds it to
+    # benchmarks/bench_trajectory.py instead of measuring a second time).
+    report_path = os.environ.get("DATAPLANE_REPORT")
+    if report_path:
+        with open(report_path, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2, sort_keys=True)
+            handle.write("\n")
     flow = result["flowmods"]
     events = result["events"]
     lpm = result["lpm"]

@@ -7,6 +7,7 @@ Exposes the main experiments without writing any Python::
     python -m repro.cli microbench --updates 50000
     python -m repro.cli groups --peers 2 3 5 10
     python -m repro.cli ablations
+    python -m repro.cli detection --prefixes 1000
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --preset fan --providers 4
     python -m repro.cli scenarios sweep --providers 2 3 --failures link_down \
@@ -27,6 +28,7 @@ from typing import List, Optional, Sequence
 from repro.experiments.ablations import compare_fib_designs
 from repro.experiments.backup_group_analysis import backup_group_counts
 from repro.experiments.controller_bench import ControllerMicrobench
+from repro.experiments.detection import DetectionExperiment
 from repro.experiments.figure5 import Figure5Experiment, active_prefix_counts
 from repro.experiments.stats import BoxStats, format_table
 from repro.scenarios import (
@@ -113,6 +115,23 @@ def _cmd_ablations(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_detection(arguments: argparse.Namespace) -> int:
+    experiment = DetectionExperiment(
+        num_prefixes=arguments.prefixes,
+        monitored_flows=arguments.flows,
+        prefix_fraction=arguments.fraction,
+        seed=arguments.seed,
+    )
+    rows = experiment.run()
+    print(experiment.report())
+    # Local faults must ride on BFD, remote faults on BGP propagation.
+    expected = {"local": "bfd", "remote": "bgp"}
+    consistent = all(
+        row.detection_path == expected[row.fault] and row.recovered for row in rows
+    )
+    return 0 if consistent else 1
+
+
 def _cmd_scenarios_list(arguments: argparse.Namespace) -> int:
     rows = []
     for name in preset_names():
@@ -197,6 +216,10 @@ def _cmd_scenarios_sweep(arguments: argparse.Namespace) -> int:
             grid["num_prefixes"] = arguments.prefixes_grid
         if arguments.failures:
             grid["failure"] = arguments.failures
+        if arguments.churn_rates:
+            grid["churn_rate_ups"] = arguments.churn_rates
+        if arguments.churn_withdraws:
+            grid["churn_withdraw_fraction"] = arguments.churn_withdraws
         if not grid:
             grid["failure"] = ["link_down"]
         specs = expand_grid(base, grid)
@@ -263,6 +286,17 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_option(ablations)
     ablations.set_defaults(handler=_cmd_ablations)
 
+    detection = commands.add_parser(
+        "detection",
+        help="BFD-vs-BGP detection-time split for local vs remote faults",
+    )
+    detection.add_argument("--prefixes", type=int, default=1_000)
+    detection.add_argument("--flows", type=int, default=20)
+    detection.add_argument("--fraction", type=float, default=1.0,
+                           help="share of the provider table a remote fault hits")
+    _add_seed_option(detection)
+    detection.set_defaults(handler=_cmd_detection)
+
     scenarios = commands.add_parser("scenarios", help="declarative scenario engine")
     scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)
 
@@ -289,7 +323,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid: prefix-table sizes")
     sweep.add_argument("--failures", nargs="*", default=None,
                        help="grid: failure campaigns (link_down, link_flap, "
-                            "bfd_loss, session_reset, controller_crash, none)")
+                            "bfd_loss, session_reset, controller_crash, "
+                            "remote_withdraw, remote_nexthop_shift, none)")
+    sweep.add_argument("--churn-rates", type=float, nargs="*", default=None,
+                       help="grid: RIS churn replay speeds (updates/s, 0 = off)")
+    sweep.add_argument("--churn-withdraws", type=float, nargs="*", default=None,
+                       help="grid: churn withdraw mix (fraction of prefixes)")
     sweep.add_argument("--random", type=int, default=0,
                        help="run N randomized ISP-like scenarios instead of a grid")
     sweep.add_argument("--prefixes", type=int, default=None,

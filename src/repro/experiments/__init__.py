@@ -8,6 +8,8 @@
   count analysis from §2.
 * :mod:`repro.experiments.ablations` — sensitivity studies called out in
   DESIGN.md (BFD interval, flow-mod latency, FIB organisation).
+* :mod:`repro.experiments.detection` — the BFD-vs-BGP detection-time split
+  for local vs remote faults (the §5 remote-failure extension).
 * :mod:`repro.experiments.stats` — box-plot statistics shared by all of the
   above.
 """
@@ -31,8 +33,16 @@ from repro.experiments.ablations import (
     sweep_bfd_interval,
     sweep_flow_mod_latency,
 )
+from repro.experiments.detection import (
+    DetectionExperiment,
+    DetectionRow,
+    run_detection,
+)
 
 __all__ = [
+    "DetectionExperiment",
+    "DetectionRow",
+    "run_detection",
     "BoxStats",
     "DEFAULT_PREFIX_COUNTS",
     "FULL_SCALE_PREFIX_COUNTS",

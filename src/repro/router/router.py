@@ -114,6 +114,12 @@ class Router:
         # Hierarchical FIB: next-hop IP -> pointer id.
         self._pointer_by_next_hop: Dict[IPv4Address, int] = {}
         self._static_routes: List[StaticRoute] = []
+        # Prefixes this router blackholes: it advertises no route for them
+        # and drops matching traffic even if a covering route (e.g. a static
+        # default) exists.  Models a failure *beyond* this router — the
+        # upstream path died while the local links stayed up (remote-failure
+        # scenarios).
+        self._blackholes: set = set()
         self._udp_handlers: List[Callable[[IPv4Packet, UdpDatagram], None]] = []
         # Listeners notified when forwarding state changes outside the serial
         # FIB updater (hierarchical-FIB writes and repoints); the argument is
@@ -185,6 +191,24 @@ class Router:
         """Register a handler for UDP datagrams addressed to this router."""
         self._udp_handlers.append(handler)
 
+    def add_blackhole(self, prefix: IPv4Prefix) -> None:
+        """Start dropping traffic towards ``prefix`` (upstream path lost)."""
+        self._blackholes.add(prefix)
+
+    def clear_blackhole(self, prefix: IPv4Prefix) -> None:
+        """Stop blackholing ``prefix`` (upstream path restored)."""
+        self._blackholes.discard(prefix)
+
+    def blackholed_prefixes(self) -> List[IPv4Prefix]:
+        """All currently blackholed prefixes."""
+        return list(self._blackholes)
+
+    def is_blackholed(self, destination: IPv4Address) -> bool:
+        """Whether traffic to ``destination`` is currently blackholed."""
+        if not self._blackholes:
+            return False
+        return any(prefix.contains(destination) for prefix in self._blackholes)
+
     def on_fib_changed(self, handler: Callable[[Optional[IPv4Prefix]], None]) -> None:
         """Register a listener for forwarding changes not visible through the
         FIB updater (hierarchical-FIB writes/repoints).  ``None`` means the
@@ -214,6 +238,8 @@ class Router:
         Connected destinations resolve through the ARP cache; remote ones
         through the FIB.  Returns ``None`` when the packet would be dropped.
         """
+        if self._blackholes and self.is_blackholed(destination):
+            return None
         local = self.interface_for(destination)
         if local is not None:
             mac = self.arp_cache.lookup(destination, self._sim.now)

@@ -9,7 +9,7 @@ peers" workload used by the controller micro-benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence
 
 from repro.bgp.attributes import AsPath, Origin, PathAttributes
 from repro.bgp.messages import UpdateMessage
@@ -111,15 +111,30 @@ def churn_stream(
     """Yield the feed as a stream of UPDATEs, optionally mixing withdraws.
 
     With ``withdraw_fraction > 0`` a corresponding share of prefixes is
-    first announced and later withdrawn, modelling route churn.
+    first announced and later withdrawn, modelling route churn.  Each
+    withdraw is interleaved into the stream at a seed-stable position
+    *after* its announcement (never batched at the end), so replaying the
+    stream exercises announce/withdraw mixing the way a recorded feed does.
     """
     if not 0.0 <= withdraw_fraction <= 1.0:
         raise ValueError(f"withdraw_fraction must be in [0, 1], got {withdraw_fraction}")
     random = SeededRandom(seed)
-    withdraw_later: List[IPv4Prefix] = []
-    for route in feed.routes:
+    selected: List[IPv4Prefix] = []
+    positions: List[int] = []
+    if withdraw_fraction > 0:
+        for index, route in enumerate(feed.routes):
+            if random.random() < withdraw_fraction:
+                selected.append(route.prefix)
+                positions.append(index)
+    total = len(feed.routes)
+    # slot p holds the withdraws emitted right after the p-th announcement
+    # (1-based); a withdraw's slot is drawn uniformly from the rest of the
+    # stream, so the mix spreads over the whole replay.
+    slots: Dict[int, List[IPv4Prefix]] = {}
+    for prefix, index in zip(selected, positions):
+        slot = random.randint(index + 1, total)
+        slots.setdefault(slot, []).append(prefix)
+    for index, route in enumerate(feed.routes):
         yield route.to_update(next_hop)
-        if withdraw_fraction > 0 and random.random() < withdraw_fraction:
-            withdraw_later.append(route.prefix)
-    for prefix in withdraw_later:
-        yield UpdateMessage.withdraw(prefix)
+        for prefix in slots.get(index + 1, ()):
+            yield UpdateMessage.withdraw(prefix)

@@ -29,17 +29,27 @@ from repro.scenarios.generator import random_fan_spec, random_fan_specs
 from repro.scenarios.presets import PRESETS, get_preset, preset_names
 from repro.scenarios.spec import (
     FAILURE_KINDS,
+    REMOTE_FAILURE_KINDS,
     FailureSpec,
     ScenarioSpec,
     ScenarioSpecError,
     failure_campaign,
 )
-from repro.scenarios.testbed import FailoverResult, ScenarioLab, build_scenario
+from repro.scenarios.testbed import (
+    DetectionEvent,
+    DetectionTracker,
+    FailoverResult,
+    ScenarioLab,
+    build_scenario,
+)
 
 __all__ = [
     "CampaignResult",
     "CampaignRunner",
+    "DetectionEvent",
+    "DetectionTracker",
     "FAILURE_KINDS",
+    "REMOTE_FAILURE_KINDS",
     "FailoverResult",
     "FailureInjector",
     "FailureSpec",

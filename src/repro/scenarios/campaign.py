@@ -105,22 +105,37 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
     lab.setup_monitoring()
     injector = FailureInjector(lab)
     injector.arm()
-    horizon = spec.failure_horizon
+    churn_scheduled = lab.start_churn()
+    horizon = max(spec.failure_horizon, lab.churn_horizon)
     if horizon > 0:
         sim.run_for(horizon + 0.05)
     recovered = lab.wait_recovered(timeout=timeout)
     failure_time = injector.first_failure_time
+    detection_ms: Optional[float] = None
+    detection_path: Optional[str] = None
+    push_ms: Optional[float] = None
+    detection_counts: Dict[str, int] = {}
     if failure_time is not None:
-        times = lab.monitor.convergence_times(failure_time)
-        samples = list(times.values())
+        details = lab.monitor.convergence_details(failure_time)
+        samples = [duration for duration, _ in details.values()]
+        for duration, label in details.values():
+            key = label if label is not None else "none"
+            detection_counts[key] = detection_counts.get(key, 0) + 1
+        failed = (
+            lab.last_failed_provider if lab.last_failed_provider is not None else 0
+        )
+        event = lab.detection.first_detection(
+            failure_time, lab.plan.provider_core_ip(failed)
+        )
+        if event is not None:
+            detection_ms = round((event.at - failure_time) * 1e3, 6)
+            detection_path = event.path
+        push = lab.detection.first_push(failure_time)
+        if push is not None:
+            push_ms = round((push.at - failure_time) * 1e3, 6)
     else:
         samples = [0.0 for _ in lab.monitored_destinations]
     stats = _stats_module().BoxStats.from_samples(samples) if samples else None
-    detection_ms: Optional[float] = None
-    if failure_time is not None:
-        detector = lab._failure_detector_session()
-        if detector is not None and detector.last_state_change >= failure_time:
-            detection_ms = round((detector.last_state_change - failure_time) * 1e3, 6)
     record: Dict[str, Any] = {
         "name": spec.name,
         "seed": spec.seed,
@@ -132,6 +147,10 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
         "converged": bool(converged),
         "recovered": bool(recovered),
         "detection_ms": detection_ms,
+        "detection_path": detection_path,
+        "detection_paths": {k: detection_counts[k] for k in sorted(detection_counts)},
+        "push_ms": push_ms,
+        "churn_updates_replayed": churn_scheduled,
         "samples": len(samples),
         "median_ms": round(stats.median * 1e3, 6) if stats else 0.0,
         "p95_ms": round(stats.p95 * 1e3, 6) if stats else 0.0,
@@ -215,7 +234,10 @@ class CampaignResult:
 
     def table(self) -> str:
         """Fixed-width text table of the per-scenario metrics."""
-        headers = ["scenario", "mode", "failures", "detect (ms)", "median (ms)", "max (ms)", "ok"]
+        headers = [
+            "scenario", "mode", "failures", "detect (ms)", "via",
+            "median (ms)", "max (ms)", "ok",
+        ]
         rows = []
         for row in self.scenarios:
             rows.append(
@@ -224,6 +246,7 @@ class CampaignResult:
                     "SC" if row["supercharged"] else "standalone",
                     ",".join(row["failures"]) or "-",
                     f"{row['detection_ms']:.1f}" if row["detection_ms"] is not None else "-",
+                    row.get("detection_path") or "-",
                     f"{row['median_ms']:.1f}",
                     f"{row['max_ms']:.1f}",
                     "yes" if row["converged"] and row["recovered"] else "NO",

@@ -9,7 +9,12 @@ schedulable events (see :data:`repro.scenarios.spec.FAILURE_KINDS`):
 * ``bfd_loss`` — silently drop BFD control packets on a link, forcing the
   failure detector into a false positive while traffic keeps flowing;
 * ``session_reset`` — administratively bounce a provider's BGP sessions;
-* ``controller_crash`` — kill a supercharged-controller replica.
+* ``controller_crash`` — kill a supercharged-controller replica;
+* ``remote_withdraw`` / ``remote_nexthop_shift`` — *remote* faults (the
+  paper's §5 extension): the provider's BGP feed changes — a slice of its
+  table is withdrawn (and blackholed) or re-announced over a longer
+  upstream path — while every local link stays up, so BFD never fires and
+  detection falls back to BGP propagation.
 
 Events are armed against the simulator relative to a start instant, so a
 whole campaign is declared up front and replayed deterministically.
@@ -20,11 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
-from repro.net.links import Link
+from repro.bgp.attributes import AsPath, PathAttributes
+from repro.net.links import Link, LinkState
 from repro.net.packets import EtherType, EthernetFrame, IpProtocol
+from repro.routes.ris_feed import FeedRoute
 from repro.scenarios.spec import FailureSpec, ScenarioSpecError
 from repro.scenarios.testbed import ScenarioLab
 from repro.sim.engine import EventHandle
+from repro.sim.random import SeededRandom
+
+#: Detour ASN spliced into shifted AS paths (below every device ASN the
+#: testbeds reserve — 64512 controller, 65000+ routers — and above the
+#: 1000–64000 range synthetic feeds draw from, so it can never collide
+#: with loop prevention on any device).
+SHIFT_DETOUR_ASN = 64999
 
 
 def _is_bfd_frame(frame: EthernetFrame) -> bool:
@@ -134,6 +148,37 @@ class FailureInjector:
                 return index
         return None
 
+    def _resolve_provider(self, target: str) -> int:
+        """A provider name, or "" (the primary provider)."""
+        name = target or self.lab.spec.provider_name(0)
+        try:
+            return self.lab.provider_index(name)
+        except KeyError:
+            raise ScenarioSpecError(
+                f"failure target {target!r} matches no provider"
+            ) from None
+
+    def _select_remote_routes(
+        self, index: int, failure: FailureSpec
+    ) -> List[FeedRoute]:
+        """The seeded ``prefix_fraction`` slice of provider ``index``'s feed
+        affected by a remote event (stable in feed order)."""
+        feeds = self.lab.provider_feeds
+        if index >= len(feeds) or not feeds[index].routes:
+            raise ScenarioSpecError(
+                "remote failures require load_feeds() to have run"
+            )
+        routes = feeds[index].routes
+        if failure.prefix_fraction >= 1.0:
+            return list(routes)
+        count = max(1, int(round(failure.prefix_fraction * len(routes))))
+        # Drawn from a private stream (scenario seed x event seed), never
+        # from sim.random: the affected slice must not depend on how much
+        # randomness the simulation consumed before the event fired.
+        rng = SeededRandom(self.lab.spec.seed * 1_000_003 + failure.seed)
+        chosen = sorted(rng.sample(range(len(routes)), count))
+        return [routes[i] for i in chosen]
+
     def _notify_monitor(self) -> None:
         if self.lab.monitor is not None:
             self.lab.monitor.notify_forwarding_change()
@@ -154,9 +199,17 @@ class FailureInjector:
         if failure.duration > 0:
             self.lab.sim.schedule(
                 failure.duration,
-                lambda: self._restore_link(failure, link, restart_sessions=True),
+                lambda: self._auto_restore(failure, link),
                 name=f"failure:{failure.kind}:auto-restore",
             )
+
+    def _auto_restore(self, failure: FailureSpec, link: Link) -> None:
+        # An explicit link_up (or a racing flap cycle) may have restored the
+        # link already; re-running the restore would bounce the freshly
+        # re-established BGP sessions and double-log the recovery.
+        if link.state is LinkState.UP:
+            return
+        self._restore_link(failure, link, restart_sessions=True)
 
     def _apply_link_up(self, failure: FailureSpec) -> None:
         link = self._resolve_link(failure.target)
@@ -252,6 +305,99 @@ class FailureInjector:
                     remote.start_peer(provider_ip)
 
         lab.sim.schedule(restart_after, restart, name="failure:session_reset:restart")
+
+    def _apply_remote_withdraw(self, failure: FailureSpec) -> None:
+        """An upstream link died beyond the provider: it withdraws the
+        affected slice of its table and blackholes matching traffic, while
+        its local link (and BFD) stay up."""
+        lab = self.lab
+        index = self._resolve_provider(failure.target)
+        provider = lab.providers[index]
+        routes = self._select_remote_routes(index, failure)
+        self._record(
+            failure,
+            f"{lab.spec.provider_name(index)} remotely withdraws"
+            f" {len(routes)}/{len(lab.provider_feeds[index])} prefixes",
+            disruptive=True,
+            provider_index=index,
+        )
+        for route in routes:
+            provider.add_blackhole(route.prefix)
+            provider.bgp.withdraw_origin(route.prefix)
+        self._notify_monitor()
+        if failure.duration > 0:
+            lab.sim.schedule(
+                failure.duration,
+                lambda: self._remote_restore(failure, index, routes),
+                name="failure:remote_withdraw:restore",
+            )
+
+    def _apply_remote_nexthop_shift(self, failure: FailureSpec) -> None:
+        """The provider's upstream next hop moved: it re-announces the
+        affected slice with a longer AS path and worse MED.  Traffic keeps
+        flowing — only the control plane sees the event."""
+        lab = self.lab
+        index = self._resolve_provider(failure.target)
+        provider = lab.providers[index]
+        routes = self._select_remote_routes(index, failure)
+        next_hop = lab.plan.provider_core_ip(index)
+        self._record(
+            failure,
+            f"{lab.spec.provider_name(index)} shifts {len(routes)} prefixes"
+            f" onto a longer upstream path",
+            disruptive=True,
+            provider_index=index,
+        )
+        for route in routes:
+            asns = route.as_path.asns
+            shifted = AsPath(asns[:1] + (SHIFT_DETOUR_ASN, SHIFT_DETOUR_ASN) + asns[1:])
+            provider.bgp.originate(
+                route.prefix,
+                PathAttributes(
+                    next_hop=next_hop,
+                    as_path=shifted,
+                    origin=route.origin,
+                    med=route.med + 50,
+                ),
+            )
+        if failure.duration > 0:
+            lab.sim.schedule(
+                failure.duration,
+                lambda: self._remote_restore(failure, index, routes),
+                name="failure:remote_nexthop_shift:restore",
+            )
+
+    def _remote_restore(
+        self, failure: FailureSpec, index: int, routes: List[FeedRoute]
+    ) -> None:
+        """Undo a remote event: clear the blackholes and re-announce the
+        original feed attributes."""
+        lab = self.lab
+        provider = lab.providers[index]
+        next_hop = lab.plan.provider_core_ip(index)
+        for route in routes:
+            provider.clear_blackhole(route.prefix)
+            provider.bgp.originate(
+                route.prefix,
+                PathAttributes(
+                    next_hop=next_hop,
+                    as_path=route.as_path,
+                    origin=route.origin,
+                    med=route.med,
+                ),
+            )
+        self.log.append(
+            InjectionRecord(
+                kind=failure.kind,
+                target=failure.target,
+                at=lab.sim.now,
+                description=(
+                    f"{lab.spec.provider_name(index)} re-announces"
+                    f" {len(routes)} prefixes"
+                ),
+            )
+        )
+        self._notify_monitor()
 
     def _apply_controller_crash(self, failure: FailureSpec) -> None:
         cluster = self.lab.cluster

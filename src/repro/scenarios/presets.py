@@ -101,6 +101,53 @@ def flap_storm(**overrides: Any) -> ScenarioSpec:
     )
 
 
+def remote_withdraw(**overrides: Any) -> ScenarioSpec:
+    """The paper's §5 remote failure: the primary provider withdraws half
+    of its table (an upstream link died beyond it) without any local
+    carrier loss — BFD never fires, detection rides on BGP."""
+    return _spec(
+        dict(
+            name="remote-withdraw",
+            supercharged=True,
+            num_providers=2,
+            failures=failure_campaign("remote_withdraw", prefix_fraction=0.5),
+        ),
+        overrides,
+    )
+
+
+def remote_shift(**overrides: Any) -> ScenarioSpec:
+    """Remote next-hop shift: the primary provider re-announces half of its
+    table over a longer upstream path (worse AS path/MED); traffic keeps
+    flowing, only the control plane sees the event."""
+    return _spec(
+        dict(
+            name="remote-shift",
+            supercharged=True,
+            num_providers=2,
+            failures=failure_campaign("remote_nexthop_shift", prefix_fraction=0.5),
+        ),
+        overrides,
+    )
+
+
+def ris_churn(**overrides: Any) -> ScenarioSpec:
+    """RIS-style churn replay: the primary provider replays a drifted copy
+    of its feed (30% of it withdrawn mid-stream) at 500 updates/s while a
+    remote withdraw fires mid-replay."""
+    return _spec(
+        dict(
+            name="ris-churn",
+            supercharged=True,
+            num_providers=2,
+            churn_rate_ups=500.0,
+            churn_withdraw_fraction=0.3,
+            failures=failure_campaign("remote_withdraw", at=1.0, prefix_fraction=0.25),
+        ),
+        overrides,
+    )
+
+
 PRESETS: Dict[str, Callable[..., ScenarioSpec]] = {
     "figure4": figure4,
     "figure4-standalone": figure4_standalone,
@@ -108,6 +155,9 @@ PRESETS: Dict[str, Callable[..., ScenarioSpec]] = {
     "redundant-controllers": redundant_controllers,
     "shared-controller-plane": shared_controller_plane,
     "flap-storm": flap_storm,
+    "remote-withdraw": remote_withdraw,
+    "remote-shift": remote_shift,
+    "ris-churn": ris_churn,
 }
 
 

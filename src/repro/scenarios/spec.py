@@ -34,7 +34,14 @@ FAILURE_KINDS = (
     "bfd_loss",
     "session_reset",
     "controller_crash",
+    "remote_withdraw",
+    "remote_nexthop_shift",
 )
+
+#: Kinds that model a *remote* fault: the provider's BGP feed changes while
+#: the local link stays up, so BFD never fires and detection falls back to
+#: BGP propagation (the paper's §5 extension).
+REMOTE_FAILURE_KINDS = ("remote_withdraw", "remote_nexthop_shift")
 
 #: Addressing-plan ceilings (see repro.scenarios.testbed.AddressPlan).
 MAX_PROVIDERS = 30
@@ -64,6 +71,14 @@ class FailureSpec:
     * ``session_reset`` — administratively bounce every BGP session of the
       target provider; both ends restart after ``duration`` (default 1 s).
     * ``controller_crash`` — crash the target controller replica.
+    * ``remote_withdraw`` — the target provider withdraws a
+      ``prefix_fraction`` slice of its table (an upstream link died beyond
+      it) and blackholes the affected traffic; ``duration > 0``
+      re-announces the slice after that long.
+    * ``remote_nexthop_shift`` — the target provider re-announces a
+      ``prefix_fraction`` slice with a longer AS path and worse MED (its
+      upstream next hop moved); traffic keeps flowing, only the control
+      plane churns.  ``duration > 0`` restores the original attributes.
     """
 
     kind: str
@@ -75,6 +90,11 @@ class FailureSpec:
     duration: float = 0.0
     count: int = 1
     period: float = 0.2
+    #: Remote kinds: share of the provider's table affected (blast radius).
+    prefix_fraction: float = 1.0
+    #: Remote kinds: decorrelates the affected-prefix sample between events
+    #: (the scenario seed is mixed in as well).
+    seed: int = 0
 
     def validate(self) -> None:
         """Raise :class:`ScenarioSpecError` on an invalid event."""
@@ -92,6 +112,10 @@ class FailureSpec:
             raise ScenarioSpecError(f"period must be > 0, got {self.period}")
         if self.kind == "bfd_loss" and self.duration <= 0:
             raise ScenarioSpecError("bfd_loss requires a positive duration")
+        if not 0.0 < self.prefix_fraction <= 1.0:
+            raise ScenarioSpecError(
+                f"prefix_fraction must be in (0, 1], got {self.prefix_fraction}"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
         """Primitive-only dict representation."""
@@ -147,6 +171,14 @@ class ScenarioSpec:
     fib_per_entry_latency: Optional[float] = None
     packet_traffic: bool = False
     packet_rate_pps: float = 200.0
+    #: RIS-style churn replay (0 = off): the primary provider replays a
+    #: recorded-feed update stream (see ``routes/ris_feed.churn_stream``)
+    #: at this many updates per simulated second, alongside the campaign.
+    churn_rate_ups: float = 0.0
+    #: How many stream updates to replay (0 = the whole stream once).
+    churn_updates: int = 0
+    #: Share of replayed prefixes that are withdrawn mid-stream.
+    churn_withdraw_fraction: float = 0.0
     #: The failure campaign, armed once the testbed has converged.
     failures: List[FailureSpec] = field(default_factory=list)
 
@@ -232,6 +264,19 @@ class ScenarioSpec:
                 raise ScenarioSpecError(
                     f"provider_names {clashes} collide with reserved device names"
                 )
+        if self.churn_rate_ups < 0:
+            raise ScenarioSpecError(
+                f"churn_rate_ups must be >= 0, got {self.churn_rate_ups}"
+            )
+        if self.churn_updates < 0:
+            raise ScenarioSpecError(
+                f"churn_updates must be >= 0, got {self.churn_updates}"
+            )
+        if not 0.0 <= self.churn_withdraw_fraction <= 1.0:
+            raise ScenarioSpecError(
+                f"churn_withdraw_fraction must be in [0, 1],"
+                f" got {self.churn_withdraw_fraction}"
+            )
         prefs = [self.provider_local_pref(i) for i in range(self.num_providers)]
         if len(set(prefs)) != len(prefs):
             raise ScenarioSpecError(
@@ -296,6 +341,8 @@ def failure_campaign(kind: str, at: float = 1.0, **params: Any) -> List[FailureS
         "bfd_loss": {"duration": 0.5},
         "session_reset": {"duration": 1.0},
         "controller_crash": {},
+        "remote_withdraw": {},
+        "remote_nexthop_shift": {},
     }
     if kind not in defaults:
         raise ScenarioSpecError(

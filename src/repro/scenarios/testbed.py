@@ -24,7 +24,9 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.bgp.attributes import PathAttributes
+from repro.bgp.messages import UpdateMessage
 from repro.bgp.policy import ImportPolicy
+from repro.bgp.rib import RibChange
 from repro.bgp.speaker import BgpSpeaker, PeerConfig
 from repro.core.controller import ControllerConfig, PeerSpec, SuperchargedController
 from repro.core.reliability import ControllerCluster
@@ -36,7 +38,7 @@ from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
 from repro.router.fib_updater import FibUpdaterConfig
 from repro.router.router import Router, RouterConfig, StaticRoute
 from repro.routes.prefix_gen import PrefixGenerator
-from repro.routes.ris_feed import RouteFeed, synthetic_full_table
+from repro.routes.ris_feed import RouteFeed, churn_stream, synthetic_full_table
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.engine import Simulator
 from repro.traffic.flows import FlowSpec
@@ -152,6 +154,95 @@ class AddressPlan:
         return 2 + self.num_providers + k
 
 
+#: Detection-path labels recorded by :class:`DetectionTracker`.
+DETECTION_BFD = "bfd"
+DETECTION_BGP = "bgp"
+DETECTION_CONTROLLER_PUSH = "controller_push"
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """One failure-detection observation at the measuring vantage point."""
+
+    at: float
+    #: ``"bfd"`` (the failure detector fired), ``"bgp"`` (a withdraw /
+    #: re-announcement removed the peer's best path) or
+    #: ``"controller_push"`` (the router heard about it from the
+    #: supercharged controller).
+    path: str
+    #: Provider the event points at (None when not attributable, e.g. a
+    #: controller push).
+    peer_ip: Optional[IPv4Address]
+
+
+class DetectionTracker:
+    """Records *how* failures become visible: BFD, BGP or controller push.
+
+    Hooks registered by :class:`ScenarioLab` call :meth:`record`; each
+    ``(path, peer)`` pair is recorded at most once per *episode* (episodes
+    are opened by :meth:`ScenarioLab.note_failure`), so the log stays tiny
+    while still capturing the first post-failure observation of every
+    mechanism."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.events: List[DetectionEvent] = []
+        self._seen: set = set()
+        self._listeners: List[Callable[[DetectionEvent], None]] = []
+
+    def on_record(self, callback: Callable[[DetectionEvent], None]) -> None:
+        """Register a listener fired for every newly recorded event."""
+        self._listeners.append(callback)
+
+    def new_episode(self) -> None:
+        """Open a fresh episode (each mechanism may record once again)."""
+        self._seen.clear()
+
+    def record(self, path: str, peer_ip: Optional[IPv4Address] = None) -> None:
+        """Record a detection observation (deduplicated per episode)."""
+        key = (path, peer_ip)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        event = DetectionEvent(self._sim.now, path, peer_ip)
+        self.events.append(event)
+        for callback in list(self._listeners):
+            callback(event)
+
+    def first_detection(
+        self, since: float, peer_ip: Optional[IPv4Address] = None
+    ) -> Optional[DetectionEvent]:
+        """Earliest genuine detection (BFD or BGP) at/after ``since``,
+        optionally restricted to ``peer_ip``.  BFD wins exact-time ties:
+        a BFD trigger tears the BGP session down in the same instant, and
+        the detector is what caused it."""
+        best: Optional[DetectionEvent] = None
+        best_key = None
+        for event in self.events:
+            if event.path == DETECTION_CONTROLLER_PUSH:
+                continue
+            if event.at < since - 1e-9:
+                continue
+            if (
+                peer_ip is not None
+                and event.peer_ip is not None
+                and event.peer_ip != peer_ip
+            ):
+                continue
+            key = (event.at, 0 if event.path == DETECTION_BFD else 1)
+            if best_key is None or key < best_key:
+                best, best_key = event, key
+        return best
+
+    def first_push(self, since: float) -> Optional[DetectionEvent]:
+        """Earliest controller push at/after ``since`` (None when the
+        scenario has no controller, or nothing was pushed)."""
+        for event in self.events:
+            if event.path == DETECTION_CONTROLLER_PUSH and event.at >= since - 1e-9:
+                return event
+        return None
+
+
 @dataclass
 class FailoverResult:
     """Outcome of one failover run."""
@@ -162,6 +253,8 @@ class FailoverResult:
     #: Per-destination data-plane outage in seconds.
     convergence_times: Dict[IPv4Address, float]
     detection_time: Optional[float] = None
+    #: How the failure was detected ("bfd" or "bgp"), if it was.
+    detection_path: Optional[str] = None
 
     @property
     def samples(self) -> List[float]:
@@ -229,6 +322,11 @@ class ScenarioLab:
         self.last_failure_time: Optional[float] = None
         #: Provider whose failure is being measured (0 when nothing failed yet).
         self.last_failed_provider: Optional[int] = None
+        #: Detection-path attribution (BFD vs BGP vs controller push).
+        self.detection = DetectionTracker(sim)
+        self.detection.on_record(self._detection_recorded)
+        #: Updates scheduled by :meth:`start_churn` (0 = churn disabled).
+        self.churn_updates_scheduled = 0
         self._built = False
 
     @staticmethod
@@ -301,6 +399,7 @@ class ScenarioLab:
         if self.spec.supercharged:
             self._build_controllers()
         self._configure_control_plane()
+        self._wire_detection()
         return self
 
     def _build_routers(self) -> None:
@@ -554,6 +653,61 @@ class ScenarioLab:
                 provider.add_bfd_peer(plan.edge_core_ip(j))
 
     # ------------------------------------------------------------------
+    # Detection-path attribution
+    # ------------------------------------------------------------------
+    def _wire_detection(self) -> None:
+        """Register the hooks feeding :attr:`detection`.
+
+        The vantage point is whatever detects failures for the measured
+        router: the controller plane in supercharged mode, the first edge
+        router itself otherwise.  ``"bfd"`` events come from the BFD
+        manager, ``"bgp"`` events from Loc-RIB changes that displace a
+        provider's own best path (withdraws, session flushes, or worse
+        re-announcements), ``"controller_push"`` from routes the router
+        receives from a controller."""
+        tracker = self.detection
+        provider_ips = set(self._provider_ips())
+
+        def bgp_hook(change: RibChange, from_peer: IPv4Address) -> None:
+            if from_peer not in provider_ips or not change.best_changed:
+                return
+            old = change.old_best
+            if old is not None and old.source.peer_ip == from_peer:
+                tracker.record(DETECTION_BGP, from_peer)
+
+        def bfd_hook(peer_ip: IPv4Address, reason: str) -> None:
+            if peer_ip in provider_ips:
+                tracker.record(DETECTION_BFD, peer_ip)
+
+        if self.spec.supercharged:
+            controller_ips = {c.config.ip for c in self.controllers}
+
+            def push_hook(change: RibChange, from_peer: IPv4Address) -> None:
+                if from_peer in controller_ips:
+                    tracker.record(DETECTION_CONTROLLER_PUSH, None)
+
+            for controller in self.controllers:
+                controller.bfd.on_peer_down(bfd_hook)
+                controller.bgp.on_rib_change(bgp_hook)
+            self.edge_routers[0].bgp.on_rib_change(push_hook)
+            return
+        edge = self.edge_routers[0]
+        if edge.bfd is not None:
+            edge.bfd.on_peer_down(bfd_hook)
+        edge.bgp.on_rib_change(bgp_hook)
+
+    def _detection_recorded(self, event: DetectionEvent) -> None:
+        # Label the monitor's current reconvergence episode with the episode's
+        # *winning* detection (BFD beats a same-instant BGP session flush), so
+        # closing outages carry their detection path.
+        if self.monitor is None or event.path == DETECTION_CONTROLLER_PUSH:
+            return
+        since = self.last_failure_time if self.last_failure_time is not None else 0.0
+        winner = self.detection.first_detection(since)
+        if winner is not None:
+            self.monitor.note_detection(winner.path)
+
+    # ------------------------------------------------------------------
     # Workflow
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -596,6 +750,68 @@ class ScenarioLab:
     def wait_converged(self, timeout: float = 3600.0) -> bool:
         """Run until every edge router's control plane and FIB are loaded."""
         return self.run_until(self._initially_converged, timeout=timeout)
+
+    def start_churn(self) -> int:
+        """Arm the spec's RIS-style churn replay (no-op when disabled).
+
+        The primary provider replays a *drifted* copy of its feed — same
+        prefixes, fresh AS paths and MEDs, ``churn_withdraw_fraction`` of
+        them withdrawn mid-stream (see
+        :func:`repro.routes.ris_feed.churn_stream`) — at
+        ``churn_rate_ups`` updates per simulated second.  Replaying the
+        original feed verbatim would be suppressed by the Adj-RIB-Out's
+        duplicate detection, so the drift is what makes the replay a real
+        update workload.  Returns the number of updates scheduled;
+        everything is derived from the spec, so replays are deterministic.
+        """
+        spec = self.spec
+        if spec.churn_rate_ups <= 0:
+            return 0
+        if not self.provider_feeds:
+            raise RuntimeError("load_feeds() must run before start_churn()")
+        base_feed = self.provider_feeds[0]
+        drifted = synthetic_full_table(
+            len(base_feed),
+            seed=spec.seed + 7919,
+            provider_asn=self.plan.provider_asn(0),
+            prefixes=base_feed.prefixes(),
+        )
+        updates = list(
+            churn_stream(
+                drifted,
+                self.plan.provider_core_ip(0),
+                withdraw_fraction=spec.churn_withdraw_fraction,
+                seed=spec.seed + 104729,
+            )
+        )
+        if spec.churn_updates > 0:
+            updates = updates[: spec.churn_updates]
+        interval = 1.0 / spec.churn_rate_ups
+        provider = self.providers[0]
+        self.sim.schedule_batch(
+            (
+                (index + 1) * interval,
+                lambda u=update: self._replay_churn_update(provider, u),
+                "churn:replay",
+            )
+            for index, update in enumerate(updates)
+        )
+        self.churn_updates_scheduled = len(updates)
+        return len(updates)
+
+    @property
+    def churn_horizon(self) -> float:
+        """Simulated seconds after :meth:`start_churn` by which the whole
+        replay has been delivered (0 when churn is disabled)."""
+        if self.churn_updates_scheduled == 0 or self.spec.churn_rate_ups <= 0:
+            return 0.0
+        return self.churn_updates_scheduled / self.spec.churn_rate_ups
+
+    def _replay_churn_update(self, provider: Router, update: UpdateMessage) -> None:
+        if update.is_withdraw:
+            provider.bgp.withdraw_origin(update.prefix)
+        else:
+            provider.bgp.originate(update.prefix, update.attributes)
 
     def setup_monitoring(self, num_flows: Optional[int] = None) -> None:
         """Select monitored destinations and attach the measurement hooks
@@ -640,6 +856,10 @@ class ScenarioLab:
         self.last_failure_time = self.sim.now if when is None else when
         if provider_index is not None:
             self.last_failed_provider = provider_index
+        # A fresh detection episode: every mechanism may claim this failure.
+        self.detection.new_episode()
+        if self.monitor is not None:
+            self.monitor.clear_detection()
         return self.last_failure_time
 
     def fail_provider(self, index: int = 0) -> float:
@@ -689,15 +909,25 @@ class ScenarioLab:
             raise RuntimeError("setup_monitoring() and a failure must run first")
         times = self.monitor.convergence_times(self.last_failure_time)
         detection = None
-        detector = self._failure_detector_session()
-        if detector is not None:
-            detection = detector.last_state_change - self.last_failure_time
+        detection_path = None
+        failed = self.last_failed_provider if self.last_failed_provider is not None else 0
+        event = self.detection.first_detection(
+            self.last_failure_time, self.plan.provider_core_ip(failed)
+        )
+        if event is not None:
+            detection = event.at - self.last_failure_time
+            detection_path = event.path
+        else:
+            detector = self._failure_detector_session()
+            if detector is not None:
+                detection = detector.last_state_change - self.last_failure_time
         return FailoverResult(
             supercharged=self.spec.supercharged,
             num_prefixes=self.spec.num_prefixes,
             failure_time=self.last_failure_time,
             convergence_times=times,
             detection_time=detection,
+            detection_path=detection_path,
         )
 
     def run_single_failover(self, timeout: float = 3600.0) -> FailoverResult:

@@ -37,6 +37,10 @@ class _DestinationState:
     reachable: Optional[bool] = None
     down_since: Optional[float] = None
     outages: List[Tuple[float, float]] = field(default_factory=list)
+    #: Detection label of each closed outage (parallel to ``outages``):
+    #: how the failure behind it was detected ("bfd", "bgp", …), or None
+    #: when no detection event was reported before the outage closed.
+    detections: List[Optional[str]] = field(default_factory=list)
 
 
 class PathTracer:
@@ -173,6 +177,9 @@ class ReachabilityMonitor:
         self._tracer = tracer
         self._destinations: Dict[IPv4Address, _DestinationState] = {}
         self.evaluations = 0
+        #: Detection label of the current reconvergence episode; outages
+        #: closing while it is set are attributed to it.
+        self._active_detection: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Configuration
@@ -204,6 +211,20 @@ class ReachabilityMonitor:
             if prefix.contains(state.destination):
                 self._evaluate(state)
 
+    def note_detection(self, label: str) -> None:
+        """Set the detection label outages closing from here on carry.
+
+        The caller (the lab) owns the episode semantics — it re-resolves
+        the winning mechanism on every detection event, so callbacks firing
+        in the same instant cannot mis-attribute (a BFD trigger tears BGP
+        sessions down in the same event, and the flush is observed first).
+        """
+        self._active_detection = label
+
+    def clear_detection(self) -> None:
+        """Start a fresh detection episode (called at each failure anchor)."""
+        self._active_detection = None
+
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
@@ -230,22 +251,43 @@ class ReachabilityMonitor:
         Destinations that never went down after ``failure_time`` report 0;
         destinations still down report the time elapsed so far.
         """
-        results: Dict[IPv4Address, float] = {}
+        return {
+            destination: duration
+            for destination, (duration, _label) in self.convergence_details(
+                failure_time
+            ).items()
+        }
+
+    def convergence_details(
+        self, failure_time: float
+    ) -> Dict[IPv4Address, Tuple[float, Optional[str]]]:
+        """Like :meth:`convergence_times`, but each sample also carries the
+        detection label of its dominating outage (None when the destination
+        never went down, or no detection event was reported)."""
+        results: Dict[IPv4Address, Tuple[float, Optional[str]]] = {}
         for destination, state in self._destinations.items():
             duration = 0.0
-            for down_at, up_at in state.outages:
+            label: Optional[str] = None
+            for (down_at, up_at), detected in zip(state.outages, state.detections):
                 if up_at >= failure_time and down_at >= failure_time - 1e-9:
-                    duration = max(duration, up_at - down_at)
+                    if up_at - down_at >= duration:
+                        duration = up_at - down_at
+                        label = detected
             if state.reachable is False and state.down_since is not None:
                 if state.down_since >= failure_time - 1e-9:
-                    duration = max(duration, self._sim.now - state.down_since)
-            results[destination] = duration
+                    elapsed = self._sim.now - state.down_since
+                    if elapsed >= duration:
+                        duration = elapsed
+                        label = None  # still down: nothing closed this outage
+            results[destination] = (duration, label)
         return results
 
     def reset(self) -> None:
         """Forget recorded outages, keeping the monitored set and state."""
+        self._active_detection = None
         for state in self._destinations.values():
             state.outages.clear()
+            state.detections.clear()
             state.down_since = state.down_since if state.reachable is False else None
 
     # ------------------------------------------------------------------
@@ -262,6 +304,7 @@ class ReachabilityMonitor:
             return
         if reachable and state.reachable is False:
             state.outages.append((state.down_since if state.down_since is not None else now, now))
+            state.detections.append(self._active_detection)
             state.down_since = None
         elif not reachable and state.reachable is True:
             state.down_since = now

@@ -114,3 +114,40 @@ def test_scenarios_sweep_random_mode(capsys):
     output = capsys.readouterr().out
     assert code == 0
     assert "random-fan-000" in output
+
+
+def test_detection_command_reports_the_split(capsys):
+    code = main(["detection", "--prefixes", "40", "--flows", "4"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "detected via" in output
+    assert "remote" in output and "local" in output
+
+
+def test_scenarios_list_includes_remote_presets(capsys):
+    code = main(["scenarios", "list"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "remote-withdraw" in output
+    assert "ris-churn" in output
+
+
+def test_scenarios_run_remote_withdraw_preset(capsys):
+    code = main([
+        "scenarios", "run", "--preset", "remote-withdraw",
+        "--prefixes", "30", "--flows", "4",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "remote_withdraw" in output
+
+
+def test_scenarios_sweep_churn_axes(capsys):
+    code = main([
+        "scenarios", "sweep", "--preset", "figure4",
+        "--prefixes-grid", "25", "--failures", "remote_withdraw",
+        "--churn-rates", "0", "300", "--flows", "3",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "remote_withdraw" in output

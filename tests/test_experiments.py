@@ -152,3 +152,32 @@ class TestAblations:
         assert flat.max_convergence > pic.max_convergence
         assert flat.max_convergence > supercharged.max_convergence
         assert supercharged.max_convergence < 0.2
+
+
+class TestDetectionExperiment:
+    def test_grid_shape_and_detection_split(self):
+        from repro.experiments.detection import DetectionExperiment
+
+        experiment = DetectionExperiment(
+            num_prefixes=40, monitored_flows=4, seed=3
+        )
+        rows = experiment.run()
+        assert len(rows) == 4
+        by_cell = {(row.fault, row.supercharged): row for row in rows}
+        assert len(by_cell) == 4
+        for (fault, _mode), row in by_cell.items():
+            assert row.recovered
+            # Local faults ride on BFD; remote faults fall back to BGP.
+            assert row.detection_path == ("bfd" if fault == "local" else "bgp")
+        # Only supercharged cells see a controller push.
+        assert by_cell[("local", True)].push_ms is not None
+        assert by_cell[("local", False)].push_ms is None
+        report = experiment.report()
+        assert "detected via" in report and "remote" in report
+
+    def test_rows_are_deterministic(self):
+        from repro.experiments.detection import run_detection
+
+        first = run_detection(num_prefixes=25, monitored_flows=3, seed=5)
+        second = run_detection(num_prefixes=25, monitored_flows=3, seed=5)
+        assert first == second

@@ -88,3 +88,81 @@ class TestMonitorMatchesPacketMeasurement:
             # most one inter-packet interval (plus scheduling jitter).
             assert packet_outage >= event_outage - 1e-6
             assert packet_outage <= event_outage + 2.5 * interval
+
+
+class TestDetectionLabels:
+    """Unit tests for the monitor's per-outage detection attribution."""
+
+    def _monitor(self):
+        from repro.traffic.reachability import ReachabilityMonitor
+
+        sim = Simulator(seed=1)
+        reachable = {"value": True}
+
+        class StubTracer:
+            def trace(self, destination):
+                return reachable["value"], []
+
+        return sim, reachable, ReachabilityMonitor(sim, StubTracer())
+
+    def test_closed_outage_carries_active_label(self):
+        sim, reachable, monitor = self._monitor()
+        destination = IPv4Address("9.9.9.9")
+        monitor.watch(destination)
+        monitor.evaluate_all()
+        sim.run_for(1.0)
+        reachable["value"] = False
+        monitor.notify_forwarding_change()
+        monitor.note_detection("bgp")
+        sim.run_for(0.5)
+        reachable["value"] = True
+        monitor.notify_forwarding_change()
+        duration, label = monitor.convergence_details(1.0)[destination]
+        assert duration == pytest.approx(0.5)
+        assert label == "bgp"
+
+    def test_label_cleared_between_episodes(self):
+        sim, reachable, monitor = self._monitor()
+        destination = IPv4Address("9.9.9.9")
+        monitor.watch(destination)
+        monitor.evaluate_all()
+        monitor.note_detection("bfd")
+        monitor.clear_detection()
+        sim.run_for(1.0)
+        reachable["value"] = False
+        monitor.notify_forwarding_change()
+        sim.run_for(0.2)
+        reachable["value"] = True
+        monitor.notify_forwarding_change()
+        # No detection event was reported in this episode.
+        _, label = monitor.convergence_details(0.5)[destination]
+        assert label is None
+
+    def test_still_open_outage_has_no_label(self):
+        sim, reachable, monitor = self._monitor()
+        destination = IPv4Address("9.9.9.9")
+        monitor.watch(destination)
+        monitor.evaluate_all()
+        sim.run_for(1.0)
+        reachable["value"] = False
+        monitor.notify_forwarding_change()
+        monitor.note_detection("bfd")
+        sim.run_for(0.3)
+        duration, label = monitor.convergence_details(1.0)[destination]
+        assert duration == pytest.approx(0.3)
+        assert label is None
+
+    def test_reset_clears_labels(self):
+        sim, reachable, monitor = self._monitor()
+        destination = IPv4Address("9.9.9.9")
+        monitor.watch(destination)
+        monitor.evaluate_all()
+        reachable["value"] = False
+        monitor.notify_forwarding_change()
+        monitor.note_detection("bfd")
+        reachable["value"] = True
+        monitor.notify_forwarding_change()
+        monitor.reset()
+        assert monitor.outages(destination) == []
+        _, label = monitor.convergence_details(0.0)[destination]
+        assert label is None

@@ -88,12 +88,45 @@ class TestChurnStream:
         assert len(updates) == 20
         assert all(update.is_announcement for update in updates)
 
-    def test_withdraw_fraction_appends_withdraws(self):
+    def test_withdraw_fraction_mixes_in_withdraws(self):
         feed = synthetic_full_table(200, seed=1)
         updates = list(churn_stream(feed, IPv4Address("10.0.0.2"), withdraw_fraction=0.5, seed=3))
         withdraws = [update for update in updates if update.is_withdraw]
         assert len(updates) == 200 + len(withdraws)
         assert 50 <= len(withdraws) <= 150
+
+    def test_withdraws_are_interleaved_not_appended(self):
+        feed = synthetic_full_table(200, seed=1)
+        updates = list(churn_stream(feed, IPv4Address("10.0.0.2"), withdraw_fraction=0.5, seed=3))
+        withdraw_count = sum(1 for update in updates if update.is_withdraw)
+        # Churn, not a batch: withdraws appear before the final announcement…
+        first_withdraw = next(i for i, u in enumerate(updates) if u.is_withdraw)
+        last_announce = max(i for i, u in enumerate(updates) if u.is_announcement)
+        assert first_withdraw < last_announce
+        # …and the tail of the stream is not one solid withdraw block.
+        tail = updates[-withdraw_count:]
+        assert any(update.is_announcement for update in tail)
+
+    def test_every_withdraw_follows_its_announcement(self):
+        feed = synthetic_full_table(150, seed=2)
+        announced = set()
+        for update in churn_stream(feed, IPv4Address("10.0.0.2"), withdraw_fraction=0.4, seed=7):
+            if update.is_withdraw:
+                assert update.prefix in announced
+            else:
+                announced.add(update.prefix)
+
+    def test_stream_is_seed_stable(self):
+        feed = synthetic_full_table(100, seed=4)
+        def render(seed):
+            return [
+                (update.is_withdraw, update.prefix)
+                for update in churn_stream(
+                    feed, IPv4Address("10.0.0.2"), withdraw_fraction=0.3, seed=seed
+                )
+            ]
+        assert render(5) == render(5)
+        assert render(5) != render(6)
 
     def test_invalid_fraction_rejected(self):
         feed = synthetic_full_table(5, seed=1)

@@ -129,6 +129,55 @@ class TestGenerator:
         assert [spec.seed for spec in specs] == [40, 41, 42]
 
 
+class TestRemoteFailureCampaigns:
+    def test_remote_vs_local_detection_split_and_determinism(self):
+        """Acceptance: a remote_withdraw x supercharged/vanilla campaign is
+        byte-identical on rerun, records per-sample detection paths, and
+        remote faults detect via BGP (no BFD) while local link_down
+        detects via BFD."""
+        base = _base(seed=51)
+        grid = {
+            "supercharged": [True, False],
+            "failure": ["remote_withdraw", "link_down"],
+        }
+        specs = expand_grid(base, grid)
+        first = CampaignRunner(specs, workers=1).run()
+        second = CampaignRunner(specs, workers=1).run()
+        assert first.scenarios_json() == second.scenarios_json()
+        for row in first.scenarios:
+            expected = "bgp" if "remote_withdraw" in row["failures"] else "bfd"
+            assert row["detection_path"] == expected, row["name"]
+            # Every outage sample carries the same detection attribution.
+            assert row["detection_paths"] == {expected: row["samples"]}
+            assert row["converged"] and row["recovered"]
+            if row["supercharged"]:
+                assert row["push_ms"] is not None
+
+    def test_remote_withdraw_pool_matches_serial(self):
+        specs = expand_grid(_base(seed=52), {"failure": ["remote_withdraw"]})
+        serial = CampaignRunner(specs, workers=1).run()
+        pooled = CampaignRunner(specs, workers=2).run()
+        assert serial.scenarios_json() == pooled.scenarios_json()
+
+    def test_churn_replay_is_deterministic_and_recorded(self):
+        base = _base(seed=53).with_overrides(
+            churn_rate_ups=400.0, churn_withdraw_fraction=0.25, failures=[]
+        ).validate()
+        first = run_scenario(base)
+        second = run_scenario(base)
+        assert first == second
+        assert first["churn_updates_replayed"] > base.num_prefixes
+        assert first["converged"] and first["recovered"]
+
+    def test_churn_grid_axes_expand(self):
+        specs = expand_grid(
+            _base(seed=54),
+            {"churn_rate_ups": [0.0, 250.0], "churn_withdraw_fraction": [0.0, 0.5]},
+        )
+        assert len(specs) == 4
+        assert {spec.churn_rate_ups for spec in specs} == {0.0, 250.0}
+
+
 class TestReviewRegressions:
     def test_seed_grid_axis_is_honoured(self):
         specs = expand_grid(_base(seed=1), {"seed": [10, 20, 30]})

@@ -129,3 +129,173 @@ def test_drop_filter_counts_dropped_frames():
     lab.sim.run_for(0.2)
     assert link.frames_dropped > before
     link.clear_drop_filter()
+
+
+class TestRemoteFailures:
+    def test_remote_withdraw_blackholes_and_reroutes(self):
+        lab = _converged_lab(seed=16)
+        provider = lab.providers[0]
+        injector = FailureInjector(lab)
+        injector.arm([FailureSpec(kind="remote_withdraw", at=0.5)])
+        lab.sim.run_for(0.6)
+        # The provider blackholes the withdrawn slice; its link stays up.
+        assert len(provider.blackholed_prefixes()) == len(lab.provider_feeds[0])
+        assert lab.provider_link(0).ports[0].is_up
+        assert injector.first_failure_time is not None
+        # BGP propagation reconverges everything onto the backup provider.
+        assert lab.wait_recovered(timeout=600)
+        for destination in lab.monitored_destinations:
+            assert lab.edge_routers[0].lookup_fib(destination) is not None
+
+    def test_remote_withdraw_never_trips_bfd(self):
+        lab = _converged_lab(seed=17)
+        injector = FailureInjector(lab)
+        injector.arm([FailureSpec(kind="remote_withdraw", at=0.5)])
+        lab.sim.run_for(1.0)
+        assert lab.wait_recovered(timeout=600)
+        event = lab.detection.first_detection(
+            injector.first_failure_time, lab.plan.provider_core_ip(0)
+        )
+        assert event is not None and event.path == "bgp"
+        # The provider's BFD session never left Up.
+        session = lab.controllers[0].bfd.session(lab.plan.provider_core_ip(0))
+        assert session is not None and session.is_up
+
+    def test_remote_withdraw_duration_restores_the_slice(self):
+        lab = _converged_lab(seed=18)
+        provider = lab.providers[0]
+        injector = FailureInjector(lab)
+        injector.arm(
+            [FailureSpec(kind="remote_withdraw", at=0.3, duration=1.0,
+                         prefix_fraction=0.4)]
+        )
+        lab.sim.run_for(0.5)
+        affected = len(provider.blackholed_prefixes())
+        assert 0 < affected < len(lab.provider_feeds[0])
+        lab.sim.run_for(1.0)
+        assert provider.blackholed_prefixes() == []
+        # Re-announced: the lab reconverges onto the primary provider.
+        assert lab.run_until(lab._initially_converged, timeout=600)
+
+    def test_prefix_fraction_slice_is_seed_stable(self):
+        lab = _converged_lab(seed=19)
+        injector = FailureInjector(lab)
+        failure = FailureSpec(kind="remote_withdraw", at=0.5, prefix_fraction=0.3)
+        first = [r.prefix for r in injector._select_remote_routes(0, failure)]
+        second = [r.prefix for r in injector._select_remote_routes(0, failure)]
+        assert first == second
+        assert len(first) == round(0.3 * len(lab.provider_feeds[0]))
+        other = [
+            r.prefix
+            for r in injector._select_remote_routes(
+                0, FailureSpec(kind="remote_withdraw", at=0.5,
+                               prefix_fraction=0.3, seed=9)
+            )
+        ]
+        assert first != other
+
+    def test_remote_shift_churns_without_outage(self):
+        lab = _converged_lab(seed=20)
+        injector = FailureInjector(lab)
+        injector.arm([FailureSpec(kind="remote_nexthop_shift", at=0.5)])
+        lab.sim.run_for(2.0)
+        # Every destination stayed reachable the whole time.
+        assert all(
+            lab.monitor.outages(destination) == []
+            for destination in lab.monitored_destinations
+        )
+        # …but the shift was still detected via BGP.
+        event = lab.detection.first_detection(
+            injector.first_failure_time, lab.plan.provider_core_ip(0)
+        )
+        assert event is not None and event.path == "bgp"
+
+    def test_remote_withdraw_requires_loaded_feeds(self):
+        from repro.scenarios.testbed import build_scenario as build
+
+        sim = Simulator(seed=21)
+        lab = build(sim, get_preset("figure4", seed=21, num_prefixes=10, failures=[]))
+        injector = FailureInjector(lab)
+        with pytest.raises(ScenarioSpecError):
+            injector._apply_remote_withdraw(
+                FailureSpec(kind="remote_withdraw", at=0.0)
+            )
+
+
+class TestOverlappingFailures:
+    def test_concurrent_bfd_loss_storms_extend_the_outage(self):
+        lab = _converged_lab(seed=22)
+        link = lab.provider_link(0)
+        injector = FailureInjector(lab)
+        injector.arm(
+            [
+                FailureSpec(kind="bfd_loss", at=0.2, duration=0.4),
+                FailureSpec(kind="bfd_loss", at=0.4, duration=0.5),
+            ]
+        )
+        # After the first storm's clear (t=0.6) the second storm must still
+        # be dropping BFD frames (until t=0.9).
+        lab.sim.run_for(0.65)
+        before = link.frames_dropped
+        lab.sim.run_for(0.2)
+        assert link.frames_dropped > before
+        # Once both storms clear, the detector re-establishes.
+        lab.sim.run_for(3.0)
+        session = lab.controllers[0].bfd.session(lab.plan.provider_core_ip(0))
+        assert session is not None and session.is_up
+
+    def test_explicit_link_up_disarms_the_auto_restore(self):
+        lab = _converged_lab(seed=23)
+        injector = FailureInjector(lab)
+        injector.arm(
+            [
+                FailureSpec(kind="link_down", at=0.2, duration=1.0),
+                FailureSpec(kind="link_up", at=0.5),
+            ]
+        )
+        lab.sim.run_for(2.0)
+        assert lab.provider_link(0).ports[0].is_up
+        # Exactly one restore fired: the explicit link_up; the auto-restore
+        # found the link already up and did not re-bounce the sessions.
+        restores = [r for r in injector.log if "up" in r.description]
+        assert len(restores) == 1
+        assert lab.run_until(lab._initially_converged, timeout=600)
+
+    def test_link_flap_racing_auto_restore(self):
+        lab = _converged_lab(seed=24)
+        injector = FailureInjector(lab)
+        # The flap's cycles keep toggling the link while the link_down's
+        # auto-restore (t=0.2+0.3=0.5) fires mid-storm; the guard must skip
+        # the restore whenever a flap cycle already brought the link up.
+        injector.arm(
+            [
+                FailureSpec(kind="link_down", at=0.2, duration=0.3),
+                FailureSpec(kind="link_flap", at=0.3, count=3, period=0.4),
+            ]
+        )
+        lab.sim.run_for(3.0)
+        assert lab.provider_link(0).ports[0].is_up
+        assert lab.run_until(lab._initially_converged, timeout=600)
+        assert lab.wait_recovered(timeout=600)
+
+    def test_remote_withdraw_on_provider_with_reset_session(self):
+        lab = _converged_lab(seed=25)
+        provider = lab.providers[0]
+        injector = FailureInjector(lab)
+        injector.arm(
+            [
+                FailureSpec(kind="session_reset", at=0.2, duration=2.0),
+                FailureSpec(kind="remote_withdraw", at=0.5, prefix_fraction=0.5),
+            ]
+        )
+        lab.sim.run_for(1.0)
+        # The withdraw hit a torn session: no UPDATE could be sent, but the
+        # blackhole still applies.
+        assert len(provider.blackholed_prefixes()) > 0
+        # After the session restarts, the withdrawn slice is simply absent
+        # from the fresh table transfer and the lab fully reconverges.
+        lab.sim.run_for(5.0)
+        assert lab.plan.provider_core_ip(0) in [
+            ip for ip in lab.controllers[0].bgp.established_peers()
+        ]
+        assert lab.wait_recovered(timeout=600)

@@ -40,10 +40,40 @@ class TestFailureSpec:
         flap = FailureSpec(kind="link_flap", at=1.0, count=5, period=0.2)
         assert flap.end_time == pytest.approx(2.0)
 
+    def test_remote_kinds_are_registered(self):
+        from repro.scenarios.spec import REMOTE_FAILURE_KINDS
+
+        assert set(REMOTE_FAILURE_KINDS) <= set(FAILURE_KINDS)
+        FailureSpec(kind="remote_withdraw", at=1.0, prefix_fraction=0.25).validate()
+        FailureSpec(kind="remote_nexthop_shift", at=1.0, seed=3).validate()
+
+    def test_prefix_fraction_bounds(self):
+        with pytest.raises(ScenarioSpecError):
+            FailureSpec(kind="remote_withdraw", at=1.0, prefix_fraction=0.0).validate()
+        with pytest.raises(ScenarioSpecError):
+            FailureSpec(kind="remote_withdraw", at=1.0, prefix_fraction=1.5).validate()
+
+    def test_remote_round_trip_keeps_fraction_and_seed(self):
+        spec = FailureSpec(
+            kind="remote_withdraw", at=2.0, target="P2", prefix_fraction=0.5, seed=7
+        )
+        assert FailureSpec.from_dict(spec.to_dict()) == spec
+
 
 class TestScenarioSpec:
     def test_defaults_validate(self):
         ScenarioSpec().validate()
+
+    def test_churn_fields_validate(self):
+        ScenarioSpec(
+            churn_rate_ups=500.0, churn_updates=100, churn_withdraw_fraction=0.3
+        ).validate()
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec(churn_rate_ups=-1.0).validate()
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec(churn_updates=-5).validate()
+        with pytest.raises(ScenarioSpecError):
+            ScenarioSpec(churn_withdraw_fraction=1.2).validate()
 
     def test_provider_defaults_are_deterministic(self):
         spec = ScenarioSpec(num_providers=4)
