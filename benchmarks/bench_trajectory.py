@@ -37,6 +37,10 @@ from benchmarks.test_bench_dataplane import (  # noqa: E402
     REPO_ROOT,
     run_worker,
 )
+from benchmarks.test_bench_remote import (  # noqa: E402
+    CONFIG as REMOTE_CONFIG,
+    run_worker as run_remote_worker,
+)
 
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_trajectory.jsonl")
 
@@ -71,6 +75,23 @@ def summarise(report: dict) -> dict:
     }
 
 
+def summarise_remote(report: dict) -> dict:
+    """The remote-repoint headline numbers tracked across PRs.
+
+    All simulated (deterministic) quantities: the grouped-vs-per-prefix
+    restoration speedup at the largest benchmarked table, and the flow-mod
+    footprint proving the O(#groups) claim."""
+    largest = report.get("largest")
+    if not largest:
+        return {}
+    return {
+        "remote_repoint_speedup": largest["speedup"],
+        "remote_repoint_flow_mods": largest["grouped_flow_mods"],
+        "remote_repoint_groups": largest["groups"],
+        "remote_repoint_table_size": largest["num_prefixes"],
+    }
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--output", default=TRAJECTORY_PATH,
@@ -86,6 +107,15 @@ def main() -> int:
                              " instead of measuring")
     parser.add_argument("--label", default=None,
                         help="free-form label stored with the entry")
+    parser.add_argument("--skip-remote", action="store_true",
+                        help="skip the remote-repoint measurement (its"
+                             " numbers are simulated, hence cheap and"
+                             " deterministic, so it runs by default —"
+                             " including for --from-baseline entries)")
+    parser.add_argument("--remote-from-report", default=None, metavar="PATH",
+                        help="derive the remote-repoint fields from an"
+                             " existing worker report (e.g. one written"
+                             " via REMOTE_REPORT) instead of re-measuring")
     arguments = parser.parse_args()
 
     if arguments.from_baseline:
@@ -109,6 +139,14 @@ def main() -> int:
         "python": ".".join(str(part) for part in sys.version_info[:3]),
         **summarise(report),
     }
+    if arguments.remote_from_report:
+        with open(arguments.remote_from_report, "r", encoding="utf-8") as handle:
+            entry.update(summarise_remote(json.load(handle)))
+    elif not arguments.skip_remote:
+        # The remote-repoint case is measured fresh even when the rest of
+        # the entry comes from a committed report: its metrics are
+        # simulated-time, so re-running is deterministic and fast.
+        entry.update(summarise_remote(run_remote_worker(REMOTE_CONFIG)))
     if arguments.label:
         entry["label"] = arguments.label
     with open(arguments.output, "a", encoding="utf-8") as handle:

@@ -10,11 +10,50 @@ to ``benchmark.extra_info`` and printed at the end of the run, so a single
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
 from typing import Dict, List
 
 import pytest
 
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
 _REPORT_LINES: List[str] = []
+
+
+def run_bench_worker(worker_path: str, config: Dict) -> Dict:
+    """Run a JSON-in/JSON-out bench worker in a fresh interpreter.
+
+    Shared fresh-subprocess scaffolding for the A/B benches (see
+    docs/performance.md): ``src`` and the benchmarks dir go on
+    ``PYTHONPATH`` (the latter so workers can import frozen legacy
+    modules), the config travels as one JSON argv, stderr is surfaced on
+    failure, and stdout is parsed as the report."""
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    benchdir = os.path.join(REPO_ROOT, "benchmarks")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src, benchdir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    completed = subprocess.run(
+        [sys.executable, worker_path, json.dumps(config)],
+        capture_output=True,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    if completed.returncode != 0:
+        # A real raise, not an assert: this helper also serves the
+        # bench_trajectory CLI, where -O would strip an assert and lose
+        # the worker's stderr.
+        raise RuntimeError(
+            f"bench worker {os.path.basename(worker_path)} failed"
+            f" (exit {completed.returncode}):\n{completed.stderr}"
+        )
+    return json.loads(completed.stdout)
 
 
 def record_report(title: str, body: str) -> None:

@@ -24,14 +24,10 @@ from __future__ import annotations
 
 import json
 import os
-import subprocess
-import sys
 
 import pytest
 
-from benchmarks.conftest import record_report
-
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+from benchmarks.conftest import REPO_ROOT, record_report, run_bench_worker
 WORKER = os.path.join(REPO_ROOT, "benchmarks", "bench_dataplane_worker.py")
 BASELINE_PATH = os.path.join(REPO_ROOT, "BENCH_dataplane.json")
 
@@ -69,22 +65,7 @@ else:
 
 def run_worker(config) -> dict:
     """Run the A/B measurements in a fresh interpreter and parse its JSON."""
-    env = dict(os.environ)
-    src = os.path.join(REPO_ROOT, "src")
-    benchdir = os.path.join(REPO_ROOT, "benchmarks")
-    env["PYTHONPATH"] = os.pathsep.join(
-        [src, benchdir] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
-    )
-    completed = subprocess.run(
-        [sys.executable, WORKER, json.dumps(config)],
-        capture_output=True,
-        text=True,
-        env=env,
-        cwd=REPO_ROOT,
-        check=False,
-    )
-    assert completed.returncode == 0, f"bench worker failed:\n{completed.stderr}"
-    return json.loads(completed.stdout)
+    return run_bench_worker(WORKER, config)
 
 
 _RESULT = {}

@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
 """Demo: declarative scenario campaign on the worker-pool runner.
 
-Expands a parameter grid over the Figure-4 base scenario — provider fan
-width x prefix-table size x failure type — into 8 scenarios, executes them
-across a ``multiprocessing`` worker pool (each worker owns its own
-deterministic simulator), writes the aggregated JSON report and then
-re-runs the whole campaign to demonstrate the determinism contract: with
-the same seed, the per-scenario metrics are byte-identical run to run,
-regardless of the worker count.
+Expands a parameter grid over the Figure-4 base scenario — prefix-table
+size x failure type (local link_down vs remote_withdraw) x remote-group
+planning off/on — into 8 scenarios, executes them across a
+``multiprocessing`` worker pool (each worker owns its own deterministic
+simulator), writes the aggregated JSON report and then re-runs the whole
+campaign to demonstrate the determinism contract: with the same seed, the
+per-scenario metrics are byte-identical run to run, regardless of the
+worker count (the remote planner draws only from a private SeededRandom
+fork, so enabling it never perturbs the other seeded decisions).
 
 Run with::
 
@@ -37,13 +39,13 @@ def main() -> int:
 
     base = get_preset("figure4", seed=arguments.seed, monitored_flows=arguments.flows)
     grid = {
-        "num_providers": [2, 3],
         "num_prefixes": list(arguments.prefixes),
-        "failure": ["link_down", "link_flap"],
+        "failure": ["link_down", "remote_withdraw"],
+        "remote_groups": [False, True],
     }
     specs = expand_grid(base, grid)
     print(f"Expanded grid into {len(specs)} scenarios "
-          f"(providers x prefixes x failure), base seed {arguments.seed}.")
+          f"(prefixes x failure x remote_groups), base seed {arguments.seed}.")
     print(f"Running on a pool of {arguments.workers} worker(s)…")
 
     result = CampaignRunner(specs, workers=arguments.workers).run()

@@ -8,6 +8,7 @@ Exposes the main experiments without writing any Python::
     python -m repro.cli groups --peers 2 3 5 10
     python -m repro.cli ablations
     python -m repro.cli detection --prefixes 1000
+    python -m repro.cli remote-supercharge --prefixes 200 500 1000
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --preset fan --providers 4
     python -m repro.cli scenarios sweep --providers 2 3 --failures link_down \
@@ -30,6 +31,10 @@ from repro.experiments.backup_group_analysis import backup_group_counts
 from repro.experiments.controller_bench import ControllerMicrobench
 from repro.experiments.detection import DetectionExperiment
 from repro.experiments.figure5 import Figure5Experiment, active_prefix_counts
+from repro.experiments.remote_supercharge import (
+    DEFAULT_PREFIX_COUNTS as REMOTE_PREFIX_COUNTS,
+    RemoteSuperchargeExperiment,
+)
 from repro.experiments.stats import BoxStats, format_table
 from repro.scenarios import (
     CampaignRunner,
@@ -132,6 +137,25 @@ def _cmd_detection(arguments: argparse.Namespace) -> int:
     return 0 if consistent else 1
 
 
+def _cmd_remote_supercharge(arguments: argparse.Namespace) -> int:
+    experiment = RemoteSuperchargeExperiment(
+        prefix_counts=arguments.prefixes,
+        monitored_flows=arguments.flows,
+        num_providers=arguments.providers,
+        seed=arguments.seed,
+    )
+    experiment.run()
+    print(experiment.report())
+    speedups = experiment.speedups()
+    if speedups:
+        largest = max(speedups)
+        print(
+            f"\nlargest table ({largest} prefixes): grouped restoration"
+            f" {speedups[largest]:.1f}x faster than per-prefix"
+        )
+    return 0 if experiment.acceptance_ok() else 1
+
+
 def _cmd_scenarios_list(arguments: argparse.Namespace) -> int:
     rows = []
     for name in preset_names():
@@ -220,6 +244,8 @@ def _cmd_scenarios_sweep(arguments: argparse.Namespace) -> int:
             grid["churn_rate_ups"] = arguments.churn_rates
         if arguments.churn_withdraws:
             grid["churn_withdraw_fraction"] = arguments.churn_withdraws
+        if arguments.remote_groups:
+            grid["remote_groups"] = [value == "on" for value in arguments.remote_groups]
         if not grid:
             grid["failure"] = ["link_down"]
         specs = expand_grid(base, grid)
@@ -297,6 +323,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_seed_option(detection)
     detection.set_defaults(handler=_cmd_detection)
 
+    remote = commands.add_parser(
+        "remote-supercharge",
+        help="grouped vs per-prefix convergence for full-table remote withdraws",
+    )
+    remote.add_argument("--prefixes", type=int, nargs="*",
+                        default=list(REMOTE_PREFIX_COUNTS),
+                        help="prefix-table sizes of the curve")
+    remote.add_argument("--flows", type=int, default=12)
+    remote.add_argument("--providers", type=int, default=2)
+    _add_seed_option(remote)
+    remote.set_defaults(handler=_cmd_remote_supercharge)
+
     scenarios = commands.add_parser("scenarios", help="declarative scenario engine")
     scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)
 
@@ -329,6 +367,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="grid: RIS churn replay speeds (updates/s, 0 = off)")
     sweep.add_argument("--churn-withdraws", type=float, nargs="*", default=None,
                        help="grid: churn withdraw mix (fraction of prefixes)")
+    sweep.add_argument("--remote-groups", nargs="*", choices=["on", "off"],
+                       default=None,
+                       help="grid: shared-fate remote-group planning (on/off)")
     sweep.add_argument("--random", type=int, default=0,
                        help="run N randomized ISP-like scenarios instead of a grid")
     sweep.add_argument("--prefixes", type=int, default=None,

@@ -108,6 +108,17 @@ class BackupGroupManager:
         """Groups whose primary next hop is ``next_hop`` (Listing 2's input)."""
         return [group for group in self._groups.values() if group.primary == next_hop]
 
+    def groups_restorable_to(self, peer: IPv4Address) -> List[BackupGroup]:
+        """Groups to point back at ``peer`` when it recovers.
+
+        For the base manager this is the same primary match Listing 2
+        uses.  The remote planner overrides both queries differently:
+        failover must follow where a rule currently points (its *active*
+        next hop), restoration must follow who the rule belongs to (its
+        key's primary) — a recovered backup peer must never drag a group
+        back to a still-dead primary."""
+        return self.groups_with_primary(peer)
+
     def vnh_bindings(self) -> Dict[IPv4Address, MacAddress]:
         """All VNH → VMAC bindings (what the ARP responder must answer)."""
         return {group.vnh: group.vmac for group in self._groups.values()}
@@ -199,6 +210,13 @@ class BackupGroupManager:
             # be garbage collected explicitly.
             return []
         return []
+
+    def note_group_pointed(self, group: BackupGroup, next_hop: IPv4Address) -> None:
+        """Hook: the data-plane convergence procedure repointed ``group``'s
+        switch rule at ``next_hop``.  The base manager keeps no active-next-
+        hop state (the provisioner owns the programmed rule), so this is a
+        no-op; the remote-group planner overrides it to keep its failover
+        index aligned with the data plane."""
 
     def collect_empty_groups(self) -> List[BackupGroup]:
         """Remove (and return) groups with no member prefixes, releasing

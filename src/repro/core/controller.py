@@ -48,6 +48,8 @@ from repro.net.packets import (
 from repro.openflow.controller_channel import ControllerChannel
 from repro.openflow.messages import PacketIn
 from repro.sim.engine import Simulator
+from repro.supercharge.engine import RemoteRepointEngine
+from repro.supercharge.planner import RemoteGroupPlanner
 
 
 @dataclass
@@ -85,6 +87,14 @@ class ControllerConfig:
     #: Size of the backup groups (2 protects against any single failure).
     backup_group_size: int = 2
     bgp_hold_time: float = 90.0
+    #: Remote supercharge: plan shared-fate remote groups and absorb
+    #: remote withdraws / next-hop shifts with O(#groups) flow-mods
+    #: instead of per-prefix re-announcements.
+    remote_groups: bool = False
+    #: How long the repoint engine lets a remote churn burst accumulate
+    #: before flushing (seconds); must comfortably cover one provider's
+    #: withdraw burst propagation, and stay far below FIB-download time.
+    remote_holddown: float = 1e-3
 
 
 class SuperchargedController:
@@ -107,9 +117,15 @@ class SuperchargedController:
         self.arp_responder = VirtualArpResponder()
         reserved = {config.ip, config.router_ip} | {peer.ip for peer in config.peers}
         self.allocator = VnhAllocator(config.vnh_pool, reserved=reserved)
-        self.backup_groups = BackupGroupManager(
-            self.allocator, group_size=config.backup_group_size
-        )
+        if config.remote_groups:
+            self.backup_groups: BackupGroupManager = RemoteGroupPlanner(
+                self.allocator, group_size=config.backup_group_size
+            )
+        else:
+            self.backup_groups = BackupGroupManager(
+                self.allocator, group_size=config.backup_group_size
+            )
+        self.remote_engine: Optional[RemoteRepointEngine] = None
         self.bgp = BgpSpeaker(
             sim,
             asn=config.asn,
@@ -158,7 +174,22 @@ class SuperchargedController:
             self._sim, channel, call_latency=self.config.rest_latency
         )
         self.provisioner = FlowProvisioner(self.rest_api, self._locate_next_hop)
-        self.convergence = DataPlaneConvergence(self.backup_groups, self.provisioner)
+        self.convergence = DataPlaneConvergence(
+            self.backup_groups, self.provisioner, peer_alive=self._peer_alive
+        )
+        if isinstance(self.backup_groups, RemoteGroupPlanner):
+            # The engine's jitter comes from a private fork of the seeded
+            # stream: enabling remote groups must not shift any other
+            # random draw, so A/B campaigns stay byte-comparable.
+            self.remote_engine = RemoteRepointEngine(
+                self._sim,
+                self.backup_groups,
+                self.provisioner,
+                peer_alive=self._peer_alive,
+                apply_actions=self._apply_actions,
+                holddown=self.config.remote_holddown,
+                rng=self._sim.random.fork(f"remote:{self.name}"),
+            )
 
     def on_failure_handled(
         self, callback: Callable[[IPv4Address, ConvergenceEvent], None]
@@ -206,6 +237,8 @@ class SuperchargedController:
         if self._crashed:
             return
         self._crashed = True
+        if self.remote_engine is not None:
+            self.remote_engine.shutdown()
         for peer_ip in list(self.bgp.peers()):
             self.bgp.peer_session(peer_ip).stop("controller crashed")
         for peer_ip in list(self.bfd.peers()):
@@ -279,7 +312,10 @@ class SuperchargedController:
             # re-provisioned back to it.
             return
         started = self._sim_perf_counter() if self.measure_processing_time else None
-        actions = self.backup_groups.process_change(change)
+        if self.remote_engine is not None:
+            actions = self.remote_engine.process_change(change)
+        else:
+            actions = self.backup_groups.process_change(change)
         self._apply_actions(actions)
         if started is not None:
             self.update_processing_times.append(self._sim_perf_counter() - started)
@@ -393,6 +429,14 @@ class SuperchargedController:
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _peer_alive(self, peer_ip: IPv4Address) -> bool:
+        """Whether the controller's failure detector considers the peer
+        usable as a failover target (unknown addresses are not)."""
+        session = self.bfd.session(peer_ip)
+        if session is not None:
+            return session.is_up
+        return peer_ip in self._peer_specs
+
     def _locate_next_hop(self, next_hop: IPv4Address) -> Optional[NextHopLocation]:
         spec = self._peer_specs.get(next_hop)
         if spec is None:

@@ -10,7 +10,7 @@ router converges in constant time regardless of the FIB size.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.backup_groups import BackupGroup, BackupGroupManager
 from repro.core.flow_provisioner import FlowProvisioner
@@ -35,9 +35,14 @@ class DataPlaneConvergence:
         self,
         groups: BackupGroupManager,
         provisioner: FlowProvisioner,
+        peer_alive: Optional[Callable[[IPv4Address], bool]] = None,
     ) -> None:
+        """``peer_alive`` optionally filters backup candidates through the
+        failure detector's view (``None`` treats every peer as usable, the
+        classic Listing-2 behaviour)."""
         self._groups = groups
         self._provisioner = provisioner
+        self._peer_alive = peer_alive
         self.events: List[ConvergenceEvent] = []
 
     def peer_down(self, failed_peer: IPv4Address, now: float) -> ConvergenceEvent:
@@ -56,11 +61,12 @@ class DataPlaneConvergence:
                 unprotected += 1
                 continue
             protected.append((group, backup))
-        for (group, _backup), ok in zip(
+        for (group, backup), ok in zip(
             protected, self._provisioner.redirect_groups(protected)
         ):
             if ok:
                 redirected.append(group)
+                self._groups.note_group_pointed(group, backup)
             else:
                 unprotected += 1
         event = ConvergenceEvent(
@@ -80,13 +86,15 @@ class DataPlaneConvergence:
         will also reconverge, but restoring the switch rules immediately
         returns traffic to the preferred (cheaper) provider.
         """
-        groups = self._groups.groups_with_primary(peer)
+        groups = self._groups.groups_restorable_to(peer)
         outcomes = self._provisioner.redirect_groups(
             [(group, group.primary) for group in groups]
         )
-        restored: List[BackupGroup] = [
-            group for group, ok in zip(groups, outcomes) if ok
-        ]
+        restored: List[BackupGroup] = []
+        for group, ok in zip(groups, outcomes):
+            if ok:
+                restored.append(group)
+                self._groups.note_group_pointed(group, group.primary)
         event = ConvergenceEvent(
             failed_peer=peer,
             triggered_at=now,
@@ -97,12 +105,24 @@ class DataPlaneConvergence:
         self.events.append(event)
         return event
 
-    @staticmethod
     def _next_usable_backup(
-        group: BackupGroup, failed_peer: IPv4Address
+        self, group: BackupGroup, failed_peer: IPv4Address
     ) -> Optional[IPv4Address]:
-        """First next hop of the group that is not the failed peer."""
-        for next_hop in group.key[1:]:
-            if next_hop != failed_peer:
-                return next_hop
+        """First usable next hop of the group's key that is not the failed
+        peer.
+
+        The whole key is scanned (not just the tail): a remote-planner
+        group can be *active* on a lower-ranked peer while the key's head
+        names its preferred primary — if the active peer fails, that
+        primary is a legitimate fallback.  For base groups the failed peer
+        is the key's head, so this degenerates to the classic key[1:].
+        Candidates the failure detector currently reports dead are
+        skipped: repointing at them would blackhole the group while
+        counting it as protected."""
+        for next_hop in group.key:
+            if next_hop == failed_peer:
+                continue
+            if self._peer_alive is not None and not self._peer_alive(next_hop):
+                continue
+            return next_hop
         return None

@@ -44,6 +44,8 @@ class FlowProvisioner:
         #: Group VMAC -> next hop currently programmed for that group.
         self._active_next_hop: Dict[MacAddress, IPv4Address] = {}
         self.rules_pushed = 0
+        #: Batched REST round trips issued (each carries >= 1 flow-mod).
+        self.batches_pushed = 0
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -99,6 +101,7 @@ class FlowProvisioner:
         if entries:
             self._rest.push_batch(entries)
             self.rules_pushed += len(entries)
+            self.batches_pushed += 1
         return results
 
     #: Alias emphasising the generic form: point arbitrary (group, next hop)

@@ -58,6 +58,34 @@ class VnhAllocator:
         """Number of currently allocated pairs."""
         return len(self._allocated)
 
+    @property
+    def can_allocate(self) -> bool:
+        """Whether at least one more (VNH, VMAC) pair is available.
+
+        Lets callers (the remote-group planner) degrade gracefully to
+        real-next-hop announcements instead of hitting
+        :class:`VnhAllocationError` when a long churn history has consumed
+        the pool."""
+        if self._released:
+            return True
+        return self._next_free(self._cursor)[0] is not None
+
+    def _next_free(self, cursor: int) -> "Tuple[Optional[IPv4Address], int]":
+        """First usable pool address at/after ``cursor`` (skipping reserved
+        and network/broadcast addresses) and the cursor past it; shared by
+        :meth:`allocate` and :attr:`can_allocate` so the skip rules cannot
+        drift apart."""
+        pool_size = self.pool.num_addresses
+        while cursor < pool_size:
+            candidate = IPv4Address(self.pool.network.value + cursor)
+            cursor += 1
+            if candidate in self._reserved:
+                continue
+            if candidate == self.pool.network or candidate == self.pool.last_address:
+                continue
+            return candidate, cursor
+        return None, cursor
+
     def allocate(self) -> Tuple[IPv4Address, MacAddress]:
         """Allocate the next (VNH, VMAC) pair.
 
@@ -69,20 +97,14 @@ class VnhAllocator:
             vnh, vmac = self._released.pop(0)
             self._allocated[vnh] = vmac
             return vnh, vmac
-        pool_size = self.pool.num_addresses
-        while self._cursor < pool_size:
-            candidate = IPv4Address(self.pool.network.value + self._cursor)
-            self._cursor += 1
-            if candidate in self._reserved:
-                continue
-            if candidate == self.pool.network or candidate == self.pool.last_address:
-                continue  # skip network/broadcast addresses
-            vmac = MacAddress(self._vmac_base + len(self._allocated) + 1)
-            self._allocated[candidate] = vmac
-            return candidate, vmac
-        raise VnhAllocationError(
-            f"VNH pool {self.pool} exhausted after {len(self._allocated)} allocations"
-        )
+        candidate, self._cursor = self._next_free(self._cursor)
+        if candidate is None:
+            raise VnhAllocationError(
+                f"VNH pool {self.pool} exhausted after {len(self._allocated)} allocations"
+            )
+        vmac = MacAddress(self._vmac_base + len(self._allocated) + 1)
+        self._allocated[candidate] = vmac
+        return candidate, vmac
 
     def release(self, vnh: IPv4Address) -> bool:
         """Return a pair to the allocator; returns whether it was allocated."""

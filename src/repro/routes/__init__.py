@@ -1,4 +1,4 @@
-"""Synthetic route feeds (RIPE RIS substitute).
+"""Route feeds: synthetic tables (RIPE RIS substitute) and real MRT dumps.
 
 The paper loads R2 and R3 with up to 512 k real IPv4 prefixes collected
 from the RIPE RIS dataset.  That dataset is not available offline, so this
@@ -7,9 +7,24 @@ prefix-length mix and AS-path length distribution.  Only two properties of
 the feed matter for the reproduced experiments — the *number* of prefixes
 and the fact that both providers advertise the *same* prefixes — and both
 are preserved.
+
+When a real collector file *is* available, :mod:`repro.routes.mrt` parses
+RFC 6396 TABLE_DUMP_V2 RIB snapshots into the same :class:`RouteFeed`
+shape and BGP4MP update traces into ``churn_stream``-compatible
+:class:`~repro.bgp.messages.UpdateMessage` streams.
 """
 
 from repro.routes.prefix_gen import PrefixGenerator, PREFIX_LENGTH_MIX
+from repro.routes.mrt import (
+    MrtError,
+    MrtPeer,
+    load_rib,
+    load_updates,
+    mrt_churn_stream,
+    read_records,
+    write_rib,
+    write_updates,
+)
 from repro.routes.ris_feed import (
     FeedRoute,
     RouteFeed,
@@ -24,4 +39,12 @@ __all__ = [
     "RouteFeed",
     "churn_stream",
     "synthetic_full_table",
+    "MrtError",
+    "MrtPeer",
+    "load_rib",
+    "load_updates",
+    "mrt_churn_stream",
+    "read_records",
+    "write_rib",
+    "write_updates",
 ]

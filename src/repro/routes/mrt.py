@@ -1,0 +1,492 @@
+"""Minimal MRT (RFC 6396) parser: RIB dumps and update traces → feeds.
+
+Real route collectors (RIPE RIS, RouteViews) publish two kinds of MRT
+files this module understands:
+
+* **TABLE_DUMP_V2** RIB snapshots — a ``PEER_INDEX_TABLE`` record followed
+  by one ``RIB_IPV4_UNICAST`` record per prefix, each holding the paths
+  every collector peer had for it.  :func:`load_rib` turns one into a
+  :class:`~repro.routes.ris_feed.RouteFeed`, directly usable wherever the
+  synthetic full tables are (``ScenarioLab.load_feeds`` substitutes,
+  drifted churn replays, …).
+* **BGP4MP** update traces — one ``MESSAGE`` / ``MESSAGE_AS4`` record per
+  received BGP message.  :func:`load_updates` turns the UPDATEs into the
+  same single-prefix :class:`~repro.bgp.messages.UpdateMessage` stream
+  that :func:`~repro.routes.ris_feed.churn_stream` produces, so a recorded
+  trace can be replayed through a provider speaker verbatim.
+
+Only the IPv4-unicast subset needed by the reproduction is implemented;
+records of any other type/subtype are skipped, never fatal.  The matching
+:func:`write_rib` / :func:`write_updates` encoders exist so tests can
+round-trip synthetic feeds and so tiny committed fixtures can be
+regenerated from code instead of being opaque blobs.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.bgp.attributes import AsPath, Origin, PathAttributes
+from repro.bgp.messages import UpdateMessage
+from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.routes.ris_feed import FeedRoute, RouteFeed
+
+# MRT record types (RFC 6396 §4).
+TABLE_DUMP_V2 = 13
+BGP4MP = 16
+
+# TABLE_DUMP_V2 subtypes (§4.3).
+PEER_INDEX_TABLE = 1
+RIB_IPV4_UNICAST = 2
+
+# BGP4MP subtypes (§4.4).
+BGP4MP_MESSAGE = 1
+BGP4MP_MESSAGE_AS4 = 4
+
+# BGP path attribute type codes.
+_ATTR_ORIGIN = 1
+_ATTR_AS_PATH = 2
+_ATTR_NEXT_HOP = 3
+_ATTR_MED = 4
+
+_AS_SEQUENCE = 2
+
+_BGP_MARKER = b"\xff" * 16
+_BGP_UPDATE = 2
+
+
+class MrtError(ValueError):
+    """Raised when an MRT file is structurally invalid."""
+
+
+@dataclass(frozen=True)
+class MrtRecord:
+    """One raw MRT record (common header + undecoded payload)."""
+
+    timestamp: int
+    type: int
+    subtype: int
+    payload: bytes
+
+
+@dataclass(frozen=True)
+class MrtPeer:
+    """One collector peer from a PEER_INDEX_TABLE.
+
+    ``ip`` is ``None`` for IPv6 peers: real RIS/RouteViews peer tables
+    always contain them, so they are parsed (keeping the peer indices
+    aligned) and only the RIB paths they contribute are dropped."""
+
+    bgp_id: IPv4Address
+    ip: Optional[IPv4Address]
+    asn: int
+
+    @property
+    def is_ipv6(self) -> bool:
+        """Whether the peering session runs over IPv6."""
+        return self.ip is None
+
+
+@dataclass(frozen=True)
+class MrtRibRoute:
+    """One peer's path for one prefix in a RIB dump."""
+
+    prefix: IPv4Prefix
+    peer: MrtPeer
+    #: The peer's position in the dump's PEER_INDEX_TABLE (stable even
+    #: when other peers' paths are dropped, e.g. IPv6 ones).
+    peer_index: int
+    originated: int
+    attributes: PathAttributes
+
+
+# ----------------------------------------------------------------------
+# Record-level reading
+# ----------------------------------------------------------------------
+def read_records(source: Union[str, bytes]) -> Iterator[MrtRecord]:
+    """Iterate the MRT records of a file path or an in-memory buffer."""
+    data = source
+    if isinstance(source, str):
+        with open(source, "rb") as handle:
+            data = handle.read()
+    offset = 0
+    total = len(data)
+    while offset < total:
+        if total - offset < 12:
+            raise MrtError(f"truncated MRT header at byte {offset}")
+        timestamp, rtype, subtype, length = struct.unpack_from(">IHHI", data, offset)
+        offset += 12
+        if total - offset < length:
+            raise MrtError(f"truncated MRT record at byte {offset}")
+        yield MrtRecord(timestamp, rtype, subtype, bytes(data[offset : offset + length]))
+        offset += length
+
+
+# ----------------------------------------------------------------------
+# TABLE_DUMP_V2 → RouteFeed
+# ----------------------------------------------------------------------
+def load_rib(source: Union[str, bytes], peer_index: Optional[int] = None) -> RouteFeed:
+    """Parse a TABLE_DUMP_V2 dump into a :class:`RouteFeed`.
+
+    Every ``RIB_IPV4_UNICAST`` record contributes one
+    :class:`FeedRoute` — the path learned from the PEER_INDEX_TABLE peer
+    at ``peer_index`` if given (prefixes that peer had no path for are
+    skipped), else the record's first surviving path (what a single-homed
+    collector peer saw).
+    """
+    routes: List[FeedRoute] = []
+    for rib in iter_rib_routes(source):
+        if peer_index is None:
+            entry = rib[0] if rib else None
+        else:
+            entry = next((e for e in rib if e.peer_index == peer_index), None)
+        if entry is None:
+            continue
+        attrs = entry.attributes
+        routes.append(
+            FeedRoute(
+                prefix=entry.prefix,
+                as_path=attrs.as_path,
+                origin=attrs.origin,
+                med=attrs.med,
+            )
+        )
+    return RouteFeed(routes=routes, seed=0)
+
+
+def iter_rib_routes(source: Union[str, bytes]) -> Iterator[List[MrtRibRoute]]:
+    """Iterate RIB records as per-prefix path lists (all collector peers)."""
+    peers: List[MrtPeer] = []
+    for record in read_records(source):
+        if record.type != TABLE_DUMP_V2:
+            continue
+        if record.subtype == PEER_INDEX_TABLE:
+            peers = _parse_peer_index(record.payload)
+        elif record.subtype == RIB_IPV4_UNICAST:
+            if not peers:
+                raise MrtError("RIB record before PEER_INDEX_TABLE")
+            yield _parse_rib_record(record.payload, peers)
+
+
+def _parse_peer_index(payload: bytes) -> List[MrtPeer]:
+    offset = 4  # collector BGP id
+    (name_length,) = struct.unpack_from(">H", payload, offset)
+    offset += 2 + name_length
+    (count,) = struct.unpack_from(">H", payload, offset)
+    offset += 2
+    peers = []
+    for _ in range(count):
+        peer_type = payload[offset]
+        offset += 1
+        (bgp_id,) = struct.unpack_from(">I", payload, offset)
+        offset += 4
+        ip: Optional[IPv4Address] = None
+        if peer_type & 0x01:  # IPv6 peer: keep the index slot, drop the IP
+            offset += 16
+        else:
+            (raw_ip,) = struct.unpack_from(">I", payload, offset)
+            ip = IPv4Address(raw_ip)
+            offset += 4
+        if peer_type & 0x02:
+            (asn,) = struct.unpack_from(">I", payload, offset)
+            offset += 4
+        else:
+            (asn,) = struct.unpack_from(">H", payload, offset)
+            offset += 2
+        peers.append(MrtPeer(IPv4Address(bgp_id), ip, asn))
+    return peers
+
+
+def _parse_rib_record(payload: bytes, peers: Sequence[MrtPeer]) -> List[MrtRibRoute]:
+    offset = 4  # sequence number
+    prefix, offset = _decode_nlri(payload, offset)
+    (entry_count,) = struct.unpack_from(">H", payload, offset)
+    offset += 2
+    routes = []
+    for _ in range(entry_count):
+        peer_idx, originated, attr_length = struct.unpack_from(">HIH", payload, offset)
+        offset += 8
+        if peer_idx >= len(peers):
+            raise MrtError(f"peer index {peer_idx} outside the peer table")
+        if peers[peer_idx].is_ipv6:
+            # An IPv4 route learned over an IPv6 session has no next hop
+            # this model can use; skip the path, never the file.
+            offset += attr_length
+            continue
+        attributes = _decode_attributes(
+            payload[offset : offset + attr_length], as_size=4
+        )
+        offset += attr_length
+        routes.append(
+            MrtRibRoute(
+                prefix=prefix,
+                peer=peers[peer_idx],
+                peer_index=peer_idx,
+                originated=originated,
+                attributes=attributes,
+            )
+        )
+    return routes
+
+
+# ----------------------------------------------------------------------
+# BGP4MP → update stream
+# ----------------------------------------------------------------------
+def load_updates(
+    source: Union[str, bytes], next_hop: Optional[IPv4Address] = None
+) -> List[UpdateMessage]:
+    """Parse a BGP4MP trace into a ``churn_stream``-compatible update list.
+
+    Multi-NLRI UPDATEs are expanded into this library's single-prefix
+    messages (announcements first, in NLRI order, then withdraws — each
+    message's own order is preserved).  ``next_hop`` optionally rewrites
+    every announcement's NEXT_HOP so a public trace can be replayed inside
+    the testbed's addressing plan.
+    """
+    updates: List[UpdateMessage] = []
+    for record in read_records(source):
+        if record.type != BGP4MP:
+            continue
+        if record.subtype not in (BGP4MP_MESSAGE, BGP4MP_MESSAGE_AS4):
+            continue
+        as_size = 4 if record.subtype == BGP4MP_MESSAGE_AS4 else 2
+        updates.extend(_parse_bgp4mp_message(record.payload, as_size, next_hop))
+    return updates
+
+
+def mrt_churn_stream(
+    source: Union[str, bytes], next_hop: Optional[IPv4Address] = None
+) -> Iterator[UpdateMessage]:
+    """Generator form of :func:`load_updates` (drop-in for
+    :func:`~repro.routes.ris_feed.churn_stream` replay sites)."""
+    return iter(load_updates(source, next_hop=next_hop))
+
+
+def _parse_bgp4mp_message(
+    payload: bytes, as_size: int, next_hop: Optional[IPv4Address]
+) -> List[UpdateMessage]:
+    offset = 2 * as_size  # peer AS + local AS
+    (afi,) = struct.unpack_from(">H", payload, offset + 2)
+    offset += 4  # interface index + address family
+    if afi != 1:
+        return []
+    offset += 8  # peer IP + local IP (IPv4)
+    if payload[offset : offset + 16] != _BGP_MARKER:
+        raise MrtError("BGP message marker missing")
+    offset += 16
+    (length,) = struct.unpack_from(">H", payload, offset)
+    message_type = payload[offset + 2]
+    offset += 3
+    if message_type != _BGP_UPDATE:
+        return []
+    end = offset + length - 19  # length includes marker (16) + len (2) + type (1)
+    (withdrawn_length,) = struct.unpack_from(">H", payload, offset)
+    offset += 2
+    withdrawn: List[IPv4Prefix] = []
+    withdrawn_end = offset + withdrawn_length
+    while offset < withdrawn_end:
+        prefix, offset = _decode_nlri(payload, offset)
+        withdrawn.append(prefix)
+    (attr_length,) = struct.unpack_from(">H", payload, offset)
+    offset += 2
+    attributes: Optional[PathAttributes] = None
+    if attr_length:
+        attributes = _decode_attributes(
+            payload[offset : offset + attr_length], as_size=as_size
+        )
+        if next_hop is not None:
+            attributes = attributes.with_next_hop(next_hop)
+    offset += attr_length
+    announced: List[IPv4Prefix] = []
+    while offset < end:
+        prefix, offset = _decode_nlri(payload, offset)
+        announced.append(prefix)
+    updates: List[UpdateMessage] = []
+    if attributes is not None:
+        for prefix in announced:
+            updates.append(UpdateMessage.announce(prefix, attributes))
+    for prefix in withdrawn:
+        updates.append(UpdateMessage.withdraw(prefix))
+    return updates
+
+
+# ----------------------------------------------------------------------
+# Shared wire helpers
+# ----------------------------------------------------------------------
+def _decode_nlri(data: bytes, offset: int) -> Tuple[IPv4Prefix, int]:
+    length = data[offset]
+    offset += 1
+    if length > 32:
+        raise MrtError(f"IPv4 prefix length {length} out of range")
+    byte_count = (length + 7) // 8
+    raw = data[offset : offset + byte_count] + b"\x00" * (4 - byte_count)
+    (network,) = struct.unpack(">I", raw)
+    return IPv4Prefix(network, length), offset + byte_count
+
+
+def _decode_attributes(data: bytes, as_size: int) -> PathAttributes:
+    origin = Origin.IGP
+    as_path = AsPath(())
+    next_hop = IPv4Address(0)
+    med = 0
+    offset = 0
+    total = len(data)
+    while offset < total:
+        flags = data[offset]
+        type_code = data[offset + 1]
+        offset += 2
+        if flags & 0x10:  # extended length
+            (length,) = struct.unpack_from(">H", data, offset)
+            offset += 2
+        else:
+            length = data[offset]
+            offset += 1
+        value = data[offset : offset + length]
+        offset += length
+        if type_code == _ATTR_ORIGIN:
+            origin = Origin(value[0])
+        elif type_code == _ATTR_AS_PATH:
+            as_path = _decode_as_path(value, as_size)
+        elif type_code == _ATTR_NEXT_HOP:
+            (hop,) = struct.unpack(">I", value)
+            next_hop = IPv4Address(hop)
+        elif type_code == _ATTR_MED:
+            (med,) = struct.unpack(">I", value)
+        # Anything else (communities, aggregator, …) is skipped.
+    return PathAttributes(
+        next_hop=next_hop, as_path=as_path, origin=origin, med=med
+    )
+
+
+def _decode_as_path(data: bytes, as_size: int) -> AsPath:
+    """Decode AS_SEQUENCE segments; other segment kinds (AS_SET on
+    aggregated routes, confederation segments) share the same wire layout
+    and are skipped rather than made fatal — real collector files contain
+    them and the model's :class:`AsPath` is a plain sequence."""
+    asns: List[int] = []
+    offset = 0
+    pattern = ">I" if as_size == 4 else ">H"
+    while offset < len(data):
+        segment_type = data[offset]
+        count = data[offset + 1]
+        offset += 2
+        if segment_type != _AS_SEQUENCE:
+            offset += count * as_size
+            continue
+        for _ in range(count):
+            (asn,) = struct.unpack_from(pattern, data, offset)
+            offset += as_size
+            asns.append(asn)
+    return AsPath(tuple(asns))
+
+
+# ----------------------------------------------------------------------
+# Encoders (fixture generation and round-trip tests)
+# ----------------------------------------------------------------------
+def write_rib(
+    path: str,
+    feed: RouteFeed,
+    peer: MrtPeer,
+    next_hop: Optional[IPv4Address] = None,
+    timestamp: int = 0,
+) -> int:
+    """Write ``feed`` as a TABLE_DUMP_V2 dump with a single collector peer.
+
+    Returns the number of RIB records written.  ``next_hop`` defaults to
+    the peer's address.
+    """
+    hop = next_hop if next_hop is not None else peer.ip
+    chunks = [
+        _record(timestamp, TABLE_DUMP_V2, PEER_INDEX_TABLE, _encode_peer_index([peer]))
+    ]
+    for sequence, route in enumerate(feed.routes):
+        attrs = _encode_attributes(
+            PathAttributes(
+                next_hop=hop, as_path=route.as_path, origin=route.origin, med=route.med
+            ),
+            as_size=4,
+        )
+        body = struct.pack(">I", sequence)
+        body += _encode_nlri(route.prefix)
+        body += struct.pack(">H", 1)  # entry count
+        body += struct.pack(">HIH", 0, timestamp, len(attrs)) + attrs
+        chunks.append(_record(timestamp, TABLE_DUMP_V2, RIB_IPV4_UNICAST, body))
+    with open(path, "wb") as handle:
+        handle.write(b"".join(chunks))
+    return len(feed.routes)
+
+
+def write_updates(
+    path: str,
+    updates: Sequence[UpdateMessage],
+    peer: MrtPeer,
+    local_ip: IPv4Address = IPv4Address("10.0.0.1"),
+    local_asn: int = 65000,
+    timestamp: int = 0,
+) -> int:
+    """Write single-prefix UPDATEs as a BGP4MP ``MESSAGE_AS4`` trace.
+
+    Returns the number of records written (one per update)."""
+    chunks = []
+    for update in updates:
+        if update.is_withdraw:
+            withdrawn = _encode_nlri(update.prefix)
+            attrs = b""
+            nlri = b""
+        else:
+            withdrawn = b""
+            attrs = _encode_attributes(update.attributes, as_size=4)
+            nlri = _encode_nlri(update.prefix)
+        body = struct.pack(">H", len(withdrawn)) + withdrawn
+        body += struct.pack(">H", len(attrs)) + attrs + nlri
+        message = _BGP_MARKER + struct.pack(">HB", 19 + len(body), _BGP_UPDATE) + body
+        header = struct.pack(
+            ">IIHH", peer.asn, local_asn, 0, 1
+        ) + struct.pack(">II", peer.ip.value, local_ip.value)
+        chunks.append(_record(timestamp, BGP4MP, BGP4MP_MESSAGE_AS4, header + message))
+    with open(path, "wb") as handle:
+        handle.write(b"".join(chunks))
+    return len(updates)
+
+
+def _record(timestamp: int, rtype: int, subtype: int, payload: bytes) -> bytes:
+    return struct.pack(">IHHI", timestamp, rtype, subtype, len(payload)) + payload
+
+
+def _encode_peer_index(peers: Sequence[MrtPeer]) -> bytes:
+    body = struct.pack(">I", 0)  # collector BGP id
+    body += struct.pack(">H", 0)  # empty view name
+    body += struct.pack(">H", len(peers))
+    for peer in peers:
+        body += struct.pack(">B", 0x02)  # IPv4 peer, 4-byte AS
+        body += struct.pack(">III", peer.bgp_id.value, peer.ip.value, peer.asn)
+    return body
+
+
+def _encode_nlri(prefix: IPv4Prefix) -> bytes:
+    byte_count = (prefix.length + 7) // 8
+    raw = struct.pack(">I", prefix.network.value)[:byte_count]
+    return struct.pack(">B", prefix.length) + raw
+
+
+def _encode_attributes(attributes: PathAttributes, as_size: int) -> bytes:
+    parts = [_attribute(_ATTR_ORIGIN, struct.pack(">B", int(attributes.origin)))]
+    pattern = ">I" if as_size == 4 else ">H"
+    asns = attributes.as_path.asns
+    segment = b""
+    if asns:
+        segment = struct.pack(">BB", _AS_SEQUENCE, len(asns))
+        segment += b"".join(struct.pack(pattern, asn) for asn in asns)
+    parts.append(_attribute(_ATTR_AS_PATH, segment))
+    parts.append(_attribute(_ATTR_NEXT_HOP, struct.pack(">I", attributes.next_hop.value)))
+    parts.append(_attribute(_ATTR_MED, struct.pack(">I", attributes.med), optional=True))
+    return b"".join(parts)
+
+
+def _attribute(type_code: int, value: bytes, optional: bool = False) -> bytes:
+    flags = 0x80 if optional else 0x40
+    if len(value) > 255:
+        return struct.pack(">BBH", flags | 0x10, type_code, len(value)) + value
+    return struct.pack(">BBB", flags, type_code, len(value)) + value

@@ -136,6 +136,7 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
     else:
         samples = [0.0 for _ in lab.monitored_destinations]
     stats = _stats_module().BoxStats.from_samples(samples) if samples else None
+    engines = lab.remote_engines()
     record: Dict[str, Any] = {
         "name": spec.name,
         "seed": spec.seed,
@@ -151,6 +152,12 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
         "detection_paths": {k: detection_counts[k] for k in sorted(detection_counts)},
         "push_ms": push_ms,
         "churn_updates_replayed": churn_scheduled,
+        "remote_groups": spec.remote_groups,
+        "remote_repoints": sum(engine.groups_repointed for engine in engines),
+        "remote_flow_mods": sum(engine.flow_mods for engine in engines),
+        "remote_fallback_prefixes": sum(
+            engine.fallback_prefixes for engine in engines
+        ),
         "samples": len(samples),
         "median_ms": round(stats.median * 1e3, 6) if stats else 0.0,
         "p95_ms": round(stats.p95 * 1e3, 6) if stats else 0.0,

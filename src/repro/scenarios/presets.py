@@ -131,6 +131,22 @@ def remote_shift(**overrides: Any) -> ScenarioSpec:
     )
 
 
+def remote_supercharge(**overrides: Any) -> ScenarioSpec:
+    """Remote supercharge: shared-fate groups absorb a full-table remote
+    withdraw of the primary provider with O(#groups) flow-mods instead of
+    per-prefix re-announcements (sweep ``remote_groups`` off/on to A/B)."""
+    return _spec(
+        dict(
+            name="remote-supercharge",
+            supercharged=True,
+            num_providers=3,
+            remote_groups=True,
+            failures=failure_campaign("remote_withdraw", prefix_fraction=1.0),
+        ),
+        overrides,
+    )
+
+
 def ris_churn(**overrides: Any) -> ScenarioSpec:
     """RIS-style churn replay: the primary provider replays a drifted copy
     of its feed (30% of it withdrawn mid-stream) at 500 updates/s while a
@@ -157,6 +173,7 @@ PRESETS: Dict[str, Callable[..., ScenarioSpec]] = {
     "flap-storm": flap_storm,
     "remote-withdraw": remote_withdraw,
     "remote-shift": remote_shift,
+    "remote-supercharge": remote_supercharge,
     "ris-churn": ris_churn,
 }
 

@@ -179,6 +179,14 @@ class ScenarioSpec:
     churn_updates: int = 0
     #: Share of replayed prefixes that are withdrawn mid-stream.
     churn_withdraw_fraction: float = 0.0
+    #: Remote supercharge (supercharged mode only): controllers plan
+    #: shared-fate remote groups and absorb remote withdraws / next-hop
+    #: shifts with O(#groups) flow-mods instead of per-prefix
+    #: re-announcements.  Off by default so A/B campaigns can sweep it.
+    remote_groups: bool = False
+    #: Holddown (seconds) the remote repoint engine lets a churn burst
+    #: accumulate before flushing.
+    remote_holddown: float = 0.001
     #: The failure campaign, armed once the testbed has converged.
     failures: List[FailureSpec] = field(default_factory=list)
 
@@ -276,6 +284,12 @@ class ScenarioSpec:
             raise ScenarioSpecError(
                 f"churn_withdraw_fraction must be in [0, 1],"
                 f" got {self.churn_withdraw_fraction}"
+            )
+        if self.remote_groups and not self.supercharged:
+            raise ScenarioSpecError("remote_groups requires supercharged mode")
+        if self.remote_holddown <= 0:
+            raise ScenarioSpecError(
+                f"remote_holddown must be > 0, got {self.remote_holddown}"
             )
         prefs = [self.provider_local_pref(i) for i in range(self.num_providers)]
         if len(set(prefs)) != len(prefs):

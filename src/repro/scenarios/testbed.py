@@ -365,6 +365,15 @@ class ScenarioLab:
         """The switch-side link of provider ``index``."""
         return self.links[f"{self.spec.provider_name(index).lower()}-sw"]
 
+    def remote_engines(self) -> List:
+        """The remote repoint engines of every controller (empty when the
+        scenario runs with ``remote_groups`` off or standalone)."""
+        return [
+            controller.remote_engine
+            for controller in self.controllers
+            if controller.remote_engine is not None
+        ]
+
     def speaker_by_ip(self, ip: IPv4Address) -> Optional[BgpSpeaker]:
         """The BGP speaker configured with ``ip``, wherever it lives."""
         for j, edge in enumerate(self.edge_routers):
@@ -569,6 +578,8 @@ class ScenarioLab:
             bfd_interval=spec.bfd_interval,
             bfd_multiplier=spec.bfd_multiplier,
             rest_latency=spec.rest_latency,
+            remote_groups=spec.remote_groups,
+            remote_holddown=spec.remote_holddown,
         )
 
     def _attach_controller(self, k: int, edge_index: int) -> SuperchargedController:

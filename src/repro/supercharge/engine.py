@@ -1,0 +1,234 @@
+"""Group-indirection failover: flush deferred RIB churn as batched repoints.
+
+:class:`RemoteRepointEngine` sits between the supercharged controller's
+RIB listener and the flow provisioner.  Every :class:`RibChange` goes
+through :meth:`process_change`; the :class:`~repro.supercharge.planner.
+RemoteGroupPlanner` either handles it directly (ungrouped prefixes) or
+parks it in the affected group's pending buffer.  The first deferral arms
+a single flush event one *holddown* later — long enough for a provider's
+withdraw burst (delivered in one simulated instant plus propagation) to
+drain completely, short against every FIB-download constant.
+
+At flush time each dirty group is classified:
+
+* **fully drained, one live fate** — every member prefix moved away and
+  they agree on the same first *live* alternate: the group is repointed
+  there.  All such groups share **one** batched REST call (one flow-mod
+  bundle on the switch, one table transaction), the group's key is
+  refreshed to the members' new consensus ranking, and the router is never
+  told — its FIB keeps pointing at the group VNH.
+* **anything else** (partial drain, divergent fates, no live alternate) —
+  exactly the pending members fall back to the per-prefix path (withdraw /
+  real-next-hop / regroup announcements towards the router).
+
+Liveness comes from the controller's BFD view, so a remote withdraw whose
+preferred alternate just lost its link skips straight to the next usable
+peer; if the alternate dies only *after* the repoint, the refreshed group
+key plus the planner's active-next-hop failover index let the ordinary
+Listing-2 convergence procedure move the group again.
+
+Determinism: the engine draws its (tiny) flush-holddown jitter from a
+private :class:`SeededRandom` fork, never from the simulator's shared
+stream — enabling remote groups must not shift any other seeded decision,
+so campaign sweeps stay byte-identical and A/B-comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.bgp.rib import RibChange
+from repro.core.backup_groups import GroupKey, ProvisioningAction
+from repro.core.flow_provisioner import FlowProvisioner
+from repro.net.addresses import IPv4Address
+from repro.sim.engine import Simulator
+from repro.sim.random import SeededRandom
+from repro.supercharge.planner import RemoteGroup, RemoteGroupPlanner
+
+
+@dataclass(frozen=True)
+class RemoteRepointEvent:
+    """Record of one flush run (diagnostics and benchmarks)."""
+
+    at: float
+    #: Groups whose switch rule was rewritten (<= dirty groups).
+    groups_repointed: int
+    #: Flow-mods actually pushed (deduplicated by the provisioner).
+    flow_mods: int
+    #: Member prefixes covered by group repoints (zero router messages).
+    prefixes_covered: int
+    #: Pending prefixes that fell back to the per-prefix path.
+    fallback_prefixes: int
+
+
+class RemoteRepointEngine:
+    """Aggregates deferred RIB churn into O(#groups) failover."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        planner: RemoteGroupPlanner,
+        provisioner: FlowProvisioner,
+        *,
+        peer_alive: Callable[[IPv4Address], bool],
+        apply_actions: Callable[[List[ProvisioningAction]], None],
+        holddown: float = 1e-3,
+        rng: Optional[SeededRandom] = None,
+    ) -> None:
+        if holddown <= 0:
+            raise ValueError(f"holddown must be > 0, got {holddown}")
+        self._sim = sim
+        self._planner = planner
+        self._provisioner = provisioner
+        self._peer_alive = peer_alive
+        self._apply_actions = apply_actions
+        self.holddown = holddown
+        self._rng = rng if rng is not None else SeededRandom(0)
+        self._flush_handle = None
+        self._stopped = False
+        self.events: List[RemoteRepointEvent] = []
+        self.groups_repointed = 0
+        self.flow_mods = 0
+        self.prefixes_covered = 0
+        self.fallback_prefixes = 0
+
+    # ------------------------------------------------------------------
+    # RIB entry point
+    # ------------------------------------------------------------------
+    def process_change(self, change: RibChange) -> List[ProvisioningAction]:
+        """Digest one RIB change; returns the immediately applicable
+        provisioning actions (empty when the change was deferred)."""
+        actions = self._planner.process_change(change)
+        self._arm_flush()
+        return actions
+
+    @property
+    def flush_pending(self) -> bool:
+        """Whether a flush is currently armed."""
+        return self._flush_handle is not None
+
+    def shutdown(self) -> None:
+        """Stop the engine (controller crash): cancel any armed flush and
+        ignore everything from here on — a dead replica must not keep
+        programming the switch."""
+        self._stopped = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+
+    # ------------------------------------------------------------------
+    # Flush
+    # ------------------------------------------------------------------
+    def _arm_flush(self) -> None:
+        if self._stopped or not self._planner.has_dirty or self._flush_handle is not None:
+            return
+        # Up to 10% seeded jitter decorrelates flushes of independent
+        # controllers without touching the simulator's shared stream.
+        delay = self.holddown * (1.0 + 0.1 * self._rng.random())
+        self._flush_handle = self._sim.schedule(
+            delay, self._flush, name="remote:flush"
+        )
+
+    def _flush(self) -> None:
+        self._flush_handle = None
+        if self._stopped:
+            return
+        repoints: List[Tuple[RemoteGroup, IPv4Address]] = []
+        repoint_keys: List[GroupKey] = []
+        actions: List[ProvisioningAction] = []
+        covered = 0
+        fallback = 0
+        for group in self._planner.take_dirty():
+            if not group.pending:
+                continue  # drained back to steady state before the flush
+            decision = self._decide(group)
+            if decision is not None:
+                target, new_key = decision
+                if target != group.active_next_hop:
+                    repoints.append((group, target))
+                    repoint_keys.append(new_key)
+                else:
+                    # Rule already points the right way (e.g. a BFD
+                    # redirect beat the drain): just refresh the key.
+                    self._planner.commit_repoint(group, target, new_key)
+                    covered += len(group.prefixes)
+            else:
+                fallback += self._fall_back(group, actions)
+        flow_mods = 0
+        if repoints:
+            before = self._provisioner.rules_pushed
+            outcomes = self._provisioner.point_groups(repoints)
+            flow_mods = self._provisioner.rules_pushed - before
+            for (group, target), new_key, ok in zip(repoints, repoint_keys, outcomes):
+                if ok:
+                    # Commit only what the switch actually accepted, so the
+                    # planner's active-next-hop index never diverges from
+                    # the programmed rule.
+                    self._planner.commit_repoint(group, target, new_key)
+                    covered += len(group.prefixes)
+                else:
+                    fallback += self._fall_back(group, actions)
+        if actions:
+            self._apply_actions(actions)
+        if repoints or covered or fallback:
+            repointed = flow_mods if repoints else 0
+            self.events.append(
+                RemoteRepointEvent(
+                    at=self._sim.now,
+                    groups_repointed=repointed,
+                    flow_mods=flow_mods,
+                    prefixes_covered=covered,
+                    fallback_prefixes=fallback,
+                )
+            )
+            self.groups_repointed += repointed
+            self.flow_mods += flow_mods
+            self.prefixes_covered += covered
+            self.fallback_prefixes += fallback
+        # Deferrals may have raced in behind the flush point.
+        self._arm_flush()
+
+    def _fall_back(
+        self, group: RemoteGroup, actions: List[ProvisioningAction]
+    ) -> int:
+        """Send the group's pending members down the per-prefix path."""
+        pending = sorted(group.pending.items())
+        group.pending.clear()
+        for prefix, hops in pending:
+            actions.extend(self._planner.reassign(prefix, hops))
+        return len(pending)
+
+    def _decide(
+        self, group: RemoteGroup
+    ) -> Optional[Tuple[IPv4Address, GroupKey]]:
+        """``(target, refreshed key)`` when the whole group shares one live
+        fate; ``None`` sends the pending members to the per-prefix path."""
+        pending = group.pending
+        if len(pending) != len(group.prefixes):
+            return None  # partial drain: the survivors must keep their rule
+        target: Optional[IPv4Address] = None
+        for hops in pending.values():
+            # No live hop: no single rule can carry the group safely, so
+            # the members take the per-prefix path.  That path follows
+            # BGP's view (it may announce a BFD-dead next hop) — exactly
+            # the base manager's behaviour, which is also what rescues a
+            # BFD false positive where the "dead" peer still forwards.
+            hop_target = next((h for h in hops if self._peer_alive(h)), None)
+            if hop_target is None:
+                return None
+            if target is None:
+                target = hop_target
+            elif hop_target != target:
+                return None  # divergent fates: cannot share one rule
+        # Refresh the key from a deterministic representative member,
+        # preserving the RANKING order (not the liveness-adjusted target):
+        # the key records who *should* carry the group per the decision
+        # process, ``active`` records who does.  When liveness forced a
+        # lower-ranked target, the key's head keeps naming the preferred
+        # peer, so its recovery (BFD up -> ``groups_restorable_to``)
+        # reclaims the group.  Alternates of members that disagree with
+        # the representative are reconciled lazily by later churn.
+        representative = pending[min(pending)]
+        new_key: GroupKey = representative[: self._planner.group_size]
+        return target, new_key

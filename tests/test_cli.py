@@ -151,3 +151,32 @@ def test_scenarios_sweep_churn_axes(capsys):
     output = capsys.readouterr().out
     assert code == 0
     assert "remote_withdraw" in output
+
+
+def test_remote_supercharge_command(capsys):
+    code = main(["remote-supercharge", "--prefixes", "30", "60", "--flows", "4"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "grouped" in output and "per-prefix" in output
+    assert "x faster than per-prefix" in output
+
+
+def test_scenarios_sweep_remote_groups_axis(capsys):
+    code = main([
+        "scenarios", "sweep", "--preset", "figure4",
+        "--prefixes-grid", "25", "--failures", "remote_withdraw",
+        "--remote-groups", "off", "on", "--flows", "3",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "remote_groups=True" in output
+
+
+def test_scenarios_run_remote_supercharge_preset(capsys):
+    code = main([
+        "scenarios", "run", "--preset", "remote-supercharge",
+        "--prefixes", "30", "--flows", "4",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "remote_withdraw" in output

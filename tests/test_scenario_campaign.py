@@ -178,6 +178,49 @@ class TestRemoteFailureCampaigns:
         assert {spec.churn_rate_ups for spec in specs} == {0.0, 250.0}
 
 
+class TestRemoteGroupCampaigns:
+    def test_remote_groups_sweep_is_byte_reproducible(self):
+        """Satellite acceptance: with remote groups on, the planner's
+        private SeededRandom fork (never the simulator's shared stream)
+        keeps campaign sweeps byte-identical — across reruns AND across
+        worker-pool sizes."""
+        base = _base(seed=61)
+        grid = {
+            "remote_groups": [False, True],
+            "failure": ["remote_withdraw", "link_down"],
+        }
+        specs = expand_grid(base, grid)
+        serial = CampaignRunner(specs, workers=1).run()
+        pooled = CampaignRunner(specs, workers=2).run()
+        rerun = CampaignRunner(specs, workers=1).run()
+        assert serial.scenarios_json() == pooled.scenarios_json()
+        assert serial.scenarios_json() == rerun.scenarios_json()
+        for row in serial.scenarios:
+            assert row["converged"] and row["recovered"]
+            if row["remote_groups"] and "remote_withdraw" in row["failures"]:
+                # Grouped full-table withdraw: O(#groups) flow-mods (one
+                # group with two providers), zero per-prefix fallbacks.
+                assert row["remote_repoints"] >= 1
+                assert 0 < row["remote_flow_mods"] <= 2
+                assert row["remote_fallback_prefixes"] == 0
+
+    def test_remote_groups_steady_state_is_bit_identical_to_off(self):
+        """A/B comparability: with no remote event to absorb, enabling the
+        planner must change NOTHING — same groups, same announcements,
+        same sim event structure (sim_events is exact), same metrics.
+        Only then do on/off sweeps isolate the failover path itself."""
+        base = _base(seed=62).with_overrides(failures=[])
+        off = run_scenario(base.with_overrides(remote_groups=False).validate())
+        on = run_scenario(base.with_overrides(remote_groups=True).validate())
+        assert {k: v for k, v in off.items() if k != "remote_groups"} == {
+            k: v for k, v in on.items() if k != "remote_groups"
+        }
+
+    def test_remote_groups_grid_key_expands(self):
+        specs = expand_grid(_base(seed=63), {"remote_groups": [False, True]})
+        assert [spec.remote_groups for spec in specs] == [False, True]
+
+
 class TestReviewRegressions:
     def test_seed_grid_axis_is_honoured(self):
         specs = expand_grid(_base(seed=1), {"seed": [10, 20, 30]})
