@@ -1,0 +1,184 @@
+"""Frozen pre-telemetry hot-path classes (A/B overhead reference).
+
+Byte-for-byte behavioral copies of :class:`FibUpdater` and
+:class:`ControllerChannel` as they existed *before* the telemetry
+instrumentation landed — i.e. without the ``_telemetry`` attribute, the
+``attach_telemetry`` hook or any ``is not None`` guard on the apply/
+deliver paths.  The telemetry-overhead benchmark drives these and the
+live classes adjacently in one fresh subprocess to show that telemetry
+*disabled* costs within noise of never having had the hooks at all (the
+zero-cost-when-disabled contract in docs/observability.md).
+
+Do not instrument or optimise anything here — the module's whole purpose
+is to stay exactly as the pre-telemetry code was.  The value types
+(FibWriteRequest, FlowMod, …) are imported from the live package: the
+instrumentation did not touch them, so sharing them keeps the comparison
+apples-to-apples.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from repro.net.addresses import IPv4Prefix
+from repro.openflow.messages import FlowMod, FlowModBatch, PacketIn, PacketOut, PortStatus
+from repro.router.fib import Adjacency, FlatFib
+from repro.router.fib_updater import FibUpdaterConfig, FibWriteRequest
+from repro.sim.engine import EventHandle, Simulator
+
+
+class LegacyFibUpdater:
+    """The serial FIB update engine exactly as it was pre-telemetry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fib: FlatFib,
+        config: Optional[FibUpdaterConfig] = None,
+        name: str = "fib",
+    ) -> None:
+        self._sim = sim
+        self._fib = fib
+        self.config = config or FibUpdaterConfig()
+        self.name = name
+        self._queue: Deque[FibWriteRequest] = deque()
+        self._busy = False
+        self._pending_event: Optional[EventHandle] = None
+        self._listeners: List[Callable[[IPv4Prefix, Optional[Adjacency], float], None]] = []
+        self._idle_listeners: List[Callable[[], None]] = []
+        self.writes_applied = 0
+        self.deletes_applied = 0
+        self.last_applied: Dict[IPv4Prefix, float] = {}
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    @property
+    def is_busy(self) -> bool:
+        return self._busy
+
+    def on_entry_applied(
+        self, callback: Callable[[IPv4Prefix, Optional[Adjacency], float], None]
+    ) -> None:
+        self._listeners.append(callback)
+
+    def on_idle(self, callback: Callable[[], None]) -> None:
+        self._idle_listeners.append(callback)
+
+    def enqueue(self, prefix: IPv4Prefix, adjacency: Optional[Adjacency]) -> None:
+        self._queue.append(FibWriteRequest(prefix=prefix, adjacency=adjacency))
+        if not self._busy:
+            self._busy = True
+            self._pending_event = self._sim.schedule(
+                self.config.first_entry_latency, self._apply_next, name=f"{self.name}:first"
+            )
+
+    def enqueue_many(self, requests: List[FibWriteRequest]) -> None:
+        if not requests:
+            return
+        was_idle = not self._busy
+        self._queue.extend(requests)
+        if was_idle:
+            self._busy = True
+            self._pending_event = self._sim.schedule(
+                self.config.first_entry_latency, self._apply_next, name=f"{self.name}:first"
+            )
+
+    enqueue_batch = enqueue_many
+
+    def flush_immediately(self) -> None:
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        while self._queue:
+            request = self._queue.popleft()
+            self._apply(request)
+        self._busy = False
+        self._notify_idle()
+
+    def _apply_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            self._pending_event = None
+            self._notify_idle()
+            return
+        request = self._queue.popleft()
+        self._apply(request)
+        if self._queue:
+            self._pending_event = self._sim.schedule(
+                self.config.per_entry_latency, self._apply_next, name=f"{self.name}:entry"
+            )
+        else:
+            self._busy = False
+            self._pending_event = None
+            self._notify_idle()
+
+    def _apply(self, request: FibWriteRequest) -> None:
+        now = self._sim.now
+        if request.adjacency is None:
+            self._fib.delete(request.prefix)
+            self.deletes_applied += 1
+        else:
+            self._fib.write(request.prefix, request.adjacency, now=now)
+            self.writes_applied += 1
+        self.last_applied[request.prefix] = now
+        for callback in list(self._listeners):
+            callback(request.prefix, request.adjacency, now)
+
+    def _notify_idle(self) -> None:
+        for callback in list(self._idle_listeners):
+            callback()
+
+
+class LegacyControllerChannel:
+    """The controller ↔ switch channel exactly as it was pre-telemetry."""
+
+    def __init__(self, sim: Simulator, latency: float = 0.5e-3, name: str = "of-channel") -> None:
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self._sim = sim
+        self.latency = latency
+        self.name = name
+        self._to_switch: List[Callable[[object], None]] = []
+        self._to_controller: List[Callable[[object], None]] = []
+        self.messages_to_switch = 0
+        self.messages_to_controller = 0
+
+    def connect_switch(self, handler: Callable[[object], None]) -> None:
+        self._to_switch.append(handler)
+
+    def connect_controller(self, handler: Callable[[object], None]) -> None:
+        self._to_controller.append(handler)
+
+    def send_flow_mod(self, flow_mod: FlowMod) -> None:
+        self._deliver_to_switch(flow_mod)
+
+    def send_flow_mod_batch(self, batch: FlowModBatch) -> None:
+        self._deliver_to_switch(batch)
+
+    def send_packet_out(self, packet_out: PacketOut) -> None:
+        self._deliver_to_switch(packet_out)
+
+    def send_packet_in(self, packet_in: PacketIn) -> None:
+        self._deliver_to_controller(packet_in)
+
+    def send_port_status(self, port_status: PortStatus) -> None:
+        self._deliver_to_controller(port_status)
+
+    def _deliver_to_switch(self, message: object) -> None:
+        self.messages_to_switch += 1
+        for handler in list(self._to_switch):
+            self._sim.schedule(
+                self.latency, lambda h=handler, m=message: h(m), name=f"{self.name}:to-switch"
+            )
+
+    def _deliver_to_controller(self, message: object) -> None:
+        self.messages_to_controller += 1
+        for handler in list(self._to_controller):
+            self._sim.schedule(
+                self.latency,
+                lambda h=handler, m=message: h(m),
+                name=f"{self.name}:to-controller",
+            )

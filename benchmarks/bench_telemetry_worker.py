@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""Telemetry-overhead A/B worker (fresh-subprocess, JSON-in/JSON-out).
+
+Measures the two instrumented hot paths — the serial FIB updater drain
+loop and the OpenFlow channel delivery path — in three configurations,
+adjacently, inside one interpreter with gc disabled in the timed
+sections:
+
+* ``legacy``   — the frozen pre-telemetry classes
+  (benchmarks/_legacy_telemetry_control.py), i.e. the code before the
+  hooks existed at all;
+* ``disabled`` — the live classes with telemetry detached (the default:
+  every instrument guard is one attribute load + ``is not None``);
+* ``enabled``  — the live classes with a full :class:`Telemetry` context
+  attached (trace ring buffer + metrics registry).
+
+The report carries the min-of-repeats time per configuration plus the
+``disabled``/``legacy`` overhead ratio — the number the zero-cost-when-
+disabled contract bounds (docs/observability.md).  Determinism cross-
+checks (writes applied, messages delivered, final sim time) ride along
+so a timing run doubles as a correctness check.
+
+Usage: ``bench_telemetry_worker.py '<json config>'`` — see
+benchmarks/test_bench_telemetry.py for the config keys.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import sys
+import time
+
+from repro.net.addresses import IPv4Prefix, MacAddress
+from repro.openflow.controller_channel import ControllerChannel
+from repro.openflow.flow_table import Actions, FlowMatch
+from repro.openflow.messages import FlowMod, FlowModBatch, FlowModCommand
+from repro.router.fib import Adjacency, FlatFib
+from repro.router.fib_updater import FibUpdater, FibUpdaterConfig, FibWriteRequest
+from repro.sim.engine import Simulator
+from repro.telemetry import Telemetry
+
+from _legacy_telemetry_control import LegacyControllerChannel, LegacyFibUpdater
+
+#: Fast hardware so the drain loop, not the latency model, dominates.
+FAST_FIB = dict(first_entry_latency=1e-6, per_entry_latency=1e-7)
+
+
+def _requests(entries: int):
+    adjacency = Adjacency(mac=MacAddress("00:00:00:00:00:01"), interface="eth0")
+    return [
+        FibWriteRequest(
+            prefix=IPv4Prefix(f"10.{(i >> 8) & 255}.{i & 255}.0/24"), adjacency=adjacency
+        )
+        for i in range(entries)
+    ]
+
+
+def _run_fib(updater_cls, entries: int, telemetry=None):
+    sim = Simulator(seed=1)
+    fib = FlatFib()
+    updater = updater_cls(sim, fib, config=FibUpdaterConfig(**FAST_FIB))
+    if telemetry is not None:
+        updater.attach_telemetry(telemetry)
+    requests = _requests(entries)
+    gc.disable()
+    started = time.perf_counter()
+    updater.enqueue_many(requests)
+    sim.run()
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    return elapsed, {"writes": updater.writes_applied, "sim_now": round(sim.now, 9)}
+
+
+def _run_channel(channel_cls, batches: int, mods_per_batch: int, telemetry=None):
+    sim = Simulator(seed=1)
+    channel = channel_cls(sim, latency=1e-6)
+    if telemetry is not None:
+        channel.attach_telemetry(telemetry)
+    delivered = [0]
+
+    def on_message(message) -> None:
+        delivered[0] += len(message)
+
+    channel.connect_switch(on_message)
+    batch = FlowModBatch(
+        mods=tuple(
+            FlowMod(
+                command=FlowModCommand.ADD,
+                match=FlowMatch(eth_dst=MacAddress(i + 1)),
+                actions=Actions(output_port=1),
+            )
+            for i in range(mods_per_batch)
+        )
+    )
+    gc.disable()
+    started = time.perf_counter()
+    for _ in range(batches):
+        channel.send_flow_mod_batch(batch)
+    sim.run()
+    elapsed = time.perf_counter() - started
+    gc.enable()
+    return elapsed, {"delivered": delivered[0], "sim_now": round(sim.now, 9)}
+
+
+def _telemetry():
+    # A throwaway clock is fine: the bench never reads recorded values,
+    # it only pays their recording cost.
+    return Telemetry(clock=lambda: 0.0, trace_capacity=4096)
+
+
+def _ab(run, repeats: int):
+    """Min-of-``repeats`` for the three configurations, interleaved so
+    thermal / scheduler drift hits every side equally."""
+    times = {"legacy": [], "disabled": [], "enabled": []}
+    checks = {}
+    for _ in range(repeats):
+        for side in ("legacy", "disabled", "enabled"):
+            elapsed, check = run(side)
+            times[side].append(elapsed)
+            checks[side] = check
+    return {side: min(values) for side, values in times.items()}, checks
+
+
+def main() -> None:
+    config = json.loads(sys.argv[1]) if len(sys.argv) > 1 else {}
+    entries = int(config.get("fib_entries", 20000))
+    batches = int(config.get("channel_batches", 5000))
+    mods_per_batch = int(config.get("mods_per_batch", 8))
+    repeats = int(config.get("repeats", 3))
+
+    def run_fib(side: str):
+        if side == "legacy":
+            return _run_fib(LegacyFibUpdater, entries)
+        if side == "disabled":
+            return _run_fib(FibUpdater, entries)
+        return _run_fib(FibUpdater, entries, telemetry=_telemetry())
+
+    def run_channel(side: str):
+        if side == "legacy":
+            return _run_channel(LegacyControllerChannel, batches, mods_per_batch)
+        if side == "disabled":
+            return _run_channel(ControllerChannel, batches, mods_per_batch)
+        return _run_channel(
+            ControllerChannel, batches, mods_per_batch, telemetry=_telemetry()
+        )
+
+    fib_times, fib_checks = _ab(run_fib, repeats)
+    channel_times, channel_checks = _ab(run_channel, repeats)
+
+    report = {
+        "config": {
+            "fib_entries": entries,
+            "channel_batches": batches,
+            "mods_per_batch": mods_per_batch,
+            "repeats": repeats,
+        },
+        "fib": {
+            "seconds": fib_times,
+            "disabled_over_legacy": fib_times["disabled"] / fib_times["legacy"],
+            "enabled_over_legacy": fib_times["enabled"] / fib_times["legacy"],
+            "checks": fib_checks,
+        },
+        "channel": {
+            "seconds": channel_times,
+            "disabled_over_legacy": channel_times["disabled"] / channel_times["legacy"],
+            "enabled_over_legacy": channel_times["enabled"] / channel_times["legacy"],
+            "checks": channel_checks,
+        },
+    }
+    json.dump(report, sys.stdout)
+
+
+if __name__ == "__main__":
+    main()

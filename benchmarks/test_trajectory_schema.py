@@ -1,0 +1,111 @@
+"""Schema check for the committed perf trajectory (BENCH_trajectory.jsonl).
+
+The trajectory is append-only machine-read data: CI appends a dated line
+per PR (benchmarks/bench_trajectory.py) and the committed file seeds the
+history.  A malformed line — unparseable JSON, a missing headline ratio,
+a wall-clock value where a speedup belongs — silently breaks every later
+comparison, so this test validates the whole committed file line by line.
+It doubles as a regression gate on the *writer*: it also generates a
+fresh entry (``--from-baseline``, so no measurement runs) into a temp
+file and holds it to the same schema.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+from benchmarks.conftest import REPO_ROOT
+
+TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_trajectory.jsonl")
+
+#: Every trajectory entry must carry these, with these types.  ``label``
+#: is optional (CI adds one, hand-seeded entries may not) and the
+#: remote_repoint_* block is optional as a unit (--skip-remote).
+REQUIRED_FIELDS = {
+    "date": str,
+    "sha": str,
+    "source": str,
+    "python": str,
+    "flowmod_install_speedup": (int, float),
+    "flowmod_modify_speedup": (int, float),
+    "events_fifo_speedup": (int, float),
+    "events_random_speedup": (int, float),
+    "lpm_lookup_speedup": (int, float),
+    "trie_nodes": int,
+}
+
+REMOTE_FIELDS = {
+    "remote_repoint_speedup": (int, float),
+    "remote_repoint_flow_mods": int,
+    "remote_repoint_groups": int,
+    "remote_repoint_table_size": int,
+}
+
+
+def _check_entry(entry: dict, context: str) -> None:
+    assert isinstance(entry, dict), f"{context}: not a JSON object"
+    for field, kind in REQUIRED_FIELDS.items():
+        assert field in entry, f"{context}: missing {field!r}"
+        assert isinstance(entry[field], kind) and not isinstance(
+            entry[field], bool
+        ), f"{context}: {field!r} has type {type(entry[field]).__name__}"
+    # Speedups are ratios: positive, and a date is YYYY-MM-DD.
+    for field in REQUIRED_FIELDS:
+        if field.endswith("_speedup"):
+            assert entry[field] > 0, f"{context}: {field!r} must be positive"
+    year, month, day = entry["date"].split("-")
+    assert len(year) == 4 and len(month) == 2 and len(day) == 2, (
+        f"{context}: date {entry['date']!r} is not ISO formatted"
+    )
+    remote_present = [field for field in REMOTE_FIELDS if field in entry]
+    if remote_present:
+        assert set(remote_present) == set(REMOTE_FIELDS), (
+            f"{context}: partial remote_repoint block {remote_present}"
+        )
+        for field, kind in REMOTE_FIELDS.items():
+            assert isinstance(entry[field], kind), (
+                f"{context}: {field!r} has type {type(entry[field]).__name__}"
+            )
+
+
+def test_committed_trajectory_lines_are_well_formed():
+    with open(TRAJECTORY_PATH, "r", encoding="utf-8") as handle:
+        lines = [line for line in handle.read().splitlines() if line.strip()]
+    assert lines, "BENCH_trajectory.jsonl must seed at least one entry"
+    for number, line in enumerate(lines, start=1):
+        entry = json.loads(line)
+        _check_entry(entry, f"line {number}")
+        # Lines must be byte-stable re-serialisations (sorted keys), so
+        # textual diffs of the trajectory stay one-line-per-entry.
+        assert line == json.dumps(entry, sort_keys=True), (
+            f"line {number}: not sorted-keys canonical JSON"
+        )
+
+
+def test_writer_emits_schema_conforming_entries(tmp_path):
+    output = tmp_path / "trajectory.jsonl"
+    completed = subprocess.run(
+        [
+            sys.executable,
+            os.path.join(REPO_ROOT, "benchmarks", "bench_trajectory.py"),
+            "--from-baseline",
+            "--skip-remote",
+            "--output",
+            str(output),
+            "--label",
+            "schema-check",
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+        check=False,
+    )
+    assert completed.returncode == 0, completed.stderr
+    lines = output.read_text(encoding="utf-8").splitlines()
+    assert len(lines) == 1
+    entry = json.loads(lines[0])
+    _check_entry(entry, "fresh entry")
+    assert entry["label"] == "schema-check"

@@ -32,6 +32,13 @@ class BfdManager:
         self._sessions: Dict[IPv4Address, BfdSession] = {}
         self._down_listeners: List[Callable[[IPv4Address, str], None]] = []
         self._up_listeners: List[Callable[[IPv4Address], None]] = []
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable detection telemetry: ``bfd.down`` / ``bfd.up`` trace
+        events (the *detect* stage of the convergence timeline) plus
+        peer-transition counters."""
+        self._telemetry = telemetry
 
     def add_peer(self, peer_ip: IPv4Address) -> BfdSession:
         """Create (and start) a session monitoring ``peer_ip``."""
@@ -92,9 +99,15 @@ class BfdManager:
         self._up_listeners.append(callback)
 
     def _notify_down(self, peer_ip: IPv4Address, reason: str) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter("bfd.peer_down").inc()
+            self._telemetry.emit("bfd.down", peer=str(peer_ip), reason=reason)
         for callback in list(self._down_listeners):
             callback(peer_ip, reason)
 
     def _notify_up(self, peer_ip: IPv4Address) -> None:
+        if self._telemetry is not None:
+            self._telemetry.counter("bfd.peer_up").inc()
+            self._telemetry.emit("bfd.up", peer=str(peer_ip))
         for callback in list(self._up_listeners):
             callback(peer_ip)

@@ -84,6 +84,13 @@ class BgpSpeaker:
         #: the supercharged controller disables it and advertises rewritten
         #: routes itself.
         self.auto_advertise = True
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable control-plane telemetry: per-update counters (cheap —
+        update processing is hot during table loads, so no trace event is
+        emitted per update) and ``bgp.session_down`` trace events."""
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Peer management
@@ -228,6 +235,11 @@ class BgpSpeaker:
 
     def _session_down(self, session: BgpSession, reason: str) -> None:
         peer_ip = session.peer_ip
+        if self._telemetry is not None:
+            self._telemetry.counter("bgp.session_down").inc()
+            self._telemetry.emit(
+                "bgp.session_down", peer=str(peer_ip), reason=reason
+            )
         for callback in list(self._peer_down_listeners):
             callback(peer_ip, reason)
         # Flush every route learned from the dead peer and propagate the
@@ -257,6 +269,10 @@ class BgpSpeaker:
         config = self._peers[peer_ip]
         session = self._sessions[peer_ip]
         adj_in = self._adj_rib_in[peer_ip]
+        if self._telemetry is not None:
+            self._telemetry.counter(
+                "bgp.withdraws_received" if update.is_withdraw else "bgp.updates_received"
+            ).inc()
         if update.is_withdraw:
             removed = adj_in.remove(update.prefix)
             if removed is None:

@@ -7,8 +7,10 @@ Exposes the main experiments without writing any Python::
     python -m repro.cli microbench --updates 50000
     python -m repro.cli groups --peers 2 3 5 10
     python -m repro.cli ablations
-    python -m repro.cli detection --prefixes 1000
-    python -m repro.cli remote-supercharge --prefixes 200 500 1000
+    python -m repro.cli detection --prefixes 1000 [--json]
+    python -m repro.cli remote-supercharge --prefixes 200 500 1000 [--json]
+    python -m repro.cli metrics --preset figure4 --failures link_down bfd_loss
+    python -m repro.cli trace --preset figure4 --event fib.batch_drain
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --preset fan --providers 4
     python -m repro.cli scenarios sweep --providers 2 3 --failures link_down \
@@ -23,6 +25,8 @@ run is reproducible from the command line.
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 from typing import List, Optional, Sequence
 
@@ -39,6 +43,7 @@ from repro.experiments.stats import BoxStats, format_table
 from repro.scenarios import (
     CampaignRunner,
     ScenarioSpecError,
+    execute_scenario,
     expand_grid,
     get_preset,
     preset_names,
@@ -128,12 +133,24 @@ def _cmd_detection(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
     )
     rows = experiment.run()
-    print(experiment.report())
     # Local faults must ride on BFD, remote faults on BGP propagation.
     expected = {"local": "bfd", "remote": "bgp"}
     consistent = all(
         row.detection_path == expected[row.fault] and row.recovered for row in rows
     )
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "rows": [dataclasses.asdict(row) for row in rows],
+                    "consistent": consistent,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(experiment.report())
     return 0 if consistent else 1
 
 
@@ -145,8 +162,21 @@ def _cmd_remote_supercharge(arguments: argparse.Namespace) -> int:
         seed=arguments.seed,
     )
     experiment.run()
-    print(experiment.report())
     speedups = experiment.speedups()
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "points": [point.to_dict() for point in experiment.rows],
+                    "speedups": {str(k): v for k, v in speedups.items()},
+                    "acceptance_ok": experiment.acceptance_ok(),
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0 if experiment.acceptance_ok() else 1
+    print(experiment.report())
     if speedups:
         largest = max(speedups)
         print(
@@ -265,6 +295,64 @@ def _cmd_scenarios_sweep(arguments: argparse.Namespace) -> int:
     return 0 if aggregate["all_converged"] and aggregate["all_recovered"] else 1
 
 
+def _cmd_metrics(arguments: argparse.Namespace) -> int:
+    """Paper-style stage breakdown (detect → decide → push → install) for a
+    preset campaign, computed from the sim-time telemetry subsystem."""
+    base = get_preset(arguments.preset, **_scenario_overrides(arguments))
+    grid = {}
+    if arguments.failures:
+        grid["failure"] = arguments.failures
+    if arguments.prefixes_grid:
+        grid["num_prefixes"] = arguments.prefixes_grid
+    if not grid:
+        grid["failure"] = ["link_down"]
+    specs = expand_grid(base, grid)
+    runner = CampaignRunner(specs, workers=arguments.workers, timeout=arguments.timeout)
+    result = runner.run()
+    aggregate = result.aggregate()
+    if arguments.json:
+        print(json.dumps(aggregate, indent=2, sort_keys=True))
+    else:
+        print(result.stage_table())
+        print()
+        print(result.stage_summary())
+    return 0 if aggregate["all_converged"] and aggregate["all_recovered"] else 1
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    """Dump the structured sim-time trace of one scenario run."""
+    spec = get_preset(arguments.preset, **_scenario_overrides(arguments))
+    if not spec.telemetry:
+        spec = spec.with_overrides(telemetry=True).validate()
+    record, lab = execute_scenario(spec, timeout=arguments.timeout)
+    events = lab.telemetry.trace.events(name=arguments.event or None)
+    if arguments.limit is not None:
+        events = events[-arguments.limit:]
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "scenario": record["name"],
+                    "emitted": lab.telemetry.trace.emitted,
+                    "events": [event.to_dict() for event in events],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"trace of {record['name']}: {lab.telemetry.trace.emitted} events"
+            f" emitted, showing {len(events)}"
+        )
+        for event in events:
+            fields = " ".join(
+                f"{key}={value}" for key, value in sorted(event.fields.items())
+            )
+            print(f"  {event.at * 1e3:12.3f} ms  {event.name:<24} {fields}")
+    return 0 if record["converged"] and record["recovered"] else 1
+
+
 def _add_seed_option(parser: argparse.ArgumentParser) -> None:
     # SUPPRESS keeps the top-level --seed value when the sub-command omits
     # it, while still accepting `repro <command> --seed N`.
@@ -320,6 +408,8 @@ def build_parser() -> argparse.ArgumentParser:
     detection.add_argument("--flows", type=int, default=20)
     detection.add_argument("--fraction", type=float, default=1.0,
                            help="share of the provider table a remote fault hits")
+    detection.add_argument("--json", action="store_true",
+                           help="emit machine-readable JSON instead of the report")
     _add_seed_option(detection)
     detection.set_defaults(handler=_cmd_detection)
 
@@ -332,8 +422,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prefix-table sizes of the curve")
     remote.add_argument("--flows", type=int, default=12)
     remote.add_argument("--providers", type=int, default=2)
+    remote.add_argument("--json", action="store_true",
+                        help="emit machine-readable JSON instead of the report")
     _add_seed_option(remote)
     remote.set_defaults(handler=_cmd_remote_supercharge)
+
+    metrics = commands.add_parser(
+        "metrics",
+        help="per-stage convergence breakdown (detect/decide/push/install)"
+             " for a preset campaign",
+    )
+    metrics.add_argument("--preset", default="figure4", choices=preset_names())
+    metrics.add_argument("--prefixes", type=int, default=None)
+    metrics.add_argument("--flows", type=int, default=None)
+    metrics.add_argument("--providers", type=int, default=None)
+    metrics.add_argument("--prefixes-grid", type=int, nargs="*", default=None,
+                         help="grid: prefix-table sizes")
+    metrics.add_argument("--failures", nargs="*", default=None,
+                         help="grid: failure campaigns (default: link_down)")
+    metrics.add_argument("--workers", type=int, default=1)
+    metrics.add_argument("--timeout", type=float, default=600.0)
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the aggregate report (incl. stage"
+                              " histograms) as JSON")
+    _add_seed_option(metrics)
+    metrics.set_defaults(handler=_cmd_metrics)
+
+    trace = commands.add_parser(
+        "trace", help="dump the structured sim-time trace of one scenario"
+    )
+    trace.add_argument("--preset", default="figure4", choices=preset_names())
+    trace.add_argument("--prefixes", type=int, default=None)
+    trace.add_argument("--flows", type=int, default=None)
+    trace.add_argument("--providers", type=int, default=None)
+    trace.add_argument("--event", default=None,
+                       help="only show events with this exact name")
+    trace.add_argument("--limit", type=int, default=None,
+                       help="show only the last N matching events")
+    trace.add_argument("--timeout", type=float, default=600.0)
+    trace.add_argument("--json", action="store_true",
+                       help="emit the trace as JSON")
+    _add_seed_option(trace)
+    trace.set_defaults(handler=_cmd_trace)
 
     scenarios = commands.add_parser("scenarios", help="declarative scenario engine")
     scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)

@@ -157,6 +157,7 @@ class SuperchargedController:
         self.withdraws_relayed = 0
         self._started = False
         self._crashed = False
+        self._telemetry = None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -196,6 +197,35 @@ class SuperchargedController:
     ) -> None:
         """Register a callback fired after Listing 2 ran for a failed peer."""
         self._failure_listeners.append(callback)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable observability for this controller and every subcomponent
+        it owns (BGP speaker, BFD manager, flow provisioner, OpenFlow
+        channel, remote repoint engine).  Call after :meth:`attach_switch`
+        so the data-plane components exist; sampling is low-frequency
+        (failover and flush time), never per RIB change."""
+        self._telemetry = telemetry
+        self.bgp.attach_telemetry(telemetry)
+        self.bfd.attach_telemetry(telemetry)
+        if self.provisioner is not None:
+            self.provisioner.attach_telemetry(telemetry)
+        if self._channel is not None:
+            self._channel.attach_telemetry(telemetry)
+        if self.remote_engine is not None:
+            self.remote_engine.attach_telemetry(telemetry)
+
+    def sample_occupancy(self) -> None:
+        """Record the group-count and VNH-pool occupancy gauges *now*.
+
+        Kept explicit (called at failover time and by the scenario lab at
+        record time) because ``group_count`` walks the group table — doing
+        that per RIB change would be quadratic during table loads."""
+        if self._telemetry is None:
+            return
+        self._telemetry.gauge("controller.group_count").set(self.group_count())
+        self._telemetry.gauge("controller.vnh_occupancy").set(
+            self.allocator.allocated_count
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -378,6 +408,16 @@ class SuperchargedController:
         if peer_ip in self.bgp.peers():
             self.bgp.peer_connection_lost(peer_ip, f"BFD: {reason}")
         if event is not None:
+            if self._telemetry is not None:
+                self._telemetry.counter("controller.failovers").inc()
+                self._telemetry.emit(
+                    "ctrl.failover",
+                    controller=self.name,
+                    peer=str(peer_ip),
+                    groups_redirected=event.groups_redirected,
+                    groups_unprotected=event.groups_unprotected,
+                )
+                self.sample_occupancy()
             for callback in list(self._failure_listeners):
                 callback(peer_ip, event)
 

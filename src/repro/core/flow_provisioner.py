@@ -19,6 +19,9 @@ from repro.core.backup_groups import BackupGroup
 from repro.core.rest_api import FloodlightRestApi, StaticFlowEntry
 from repro.net.addresses import IPv4Address, MacAddress
 
+#: Fixed bucket edges of the flow-mods-per-batch histogram.
+BATCH_SIZE_EDGES = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 500.0, 1_000.0)
+
 
 @dataclass(frozen=True)
 class NextHopLocation:
@@ -46,6 +49,15 @@ class FlowProvisioner:
         self.rules_pushed = 0
         #: Batched REST round trips issued (each carries >= 1 flow-mod).
         self.batches_pushed = 0
+        #: Flow-mods that travelled inside those batches (subset of
+        #: ``rules_pushed``; the rest went as single-rule pushes).
+        self.rules_pushed_batched = 0
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable provisioning telemetry: REST round-trip counters and a
+        flow-mods-per-batch histogram."""
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Provisioning
@@ -101,7 +113,15 @@ class FlowProvisioner:
         if entries:
             self._rest.push_batch(entries)
             self.rules_pushed += len(entries)
+            self.rules_pushed_batched += len(entries)
             self.batches_pushed += 1
+            if self._telemetry is not None:
+                self._telemetry.counter("provisioner.rest_calls").inc()
+                self._telemetry.counter("provisioner.batches").inc()
+                self._telemetry.counter("provisioner.rules").inc(len(entries))
+                self._telemetry.histogram(
+                    "provisioner.flow_mods_per_batch", BATCH_SIZE_EDGES
+                ).observe(float(len(entries)))
         return results
 
     #: Alias emphasising the generic form: point arbitrary (group, next hop)
@@ -139,6 +159,9 @@ class FlowProvisioner:
         self._rest.push(entry)
         self._active_next_hop[group.vmac] = next_hop
         self.rules_pushed += 1
+        if self._telemetry is not None:
+            self._telemetry.counter("provisioner.rest_calls").inc()
+            self._telemetry.counter("provisioner.rules").inc()
         return True
 
     @staticmethod

@@ -28,6 +28,16 @@ class ControllerChannel:
         self._to_controller: List[Callable[[object], None]] = []
         self.messages_to_switch = 0
         self.messages_to_controller = 0
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable flow-mod channel telemetry: an in-flight gauge
+        (``channel.flow_mods_in_flight``, whose high-water mark is the
+        peak flow-mod queue depth) and ``channel.push`` /
+        ``channel.delivered`` trace events.  Delivery scheduling is
+        unchanged — the accounting rides inside the already-scheduled
+        callback, so the simulation trajectory is identical."""
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # Subscription
@@ -71,10 +81,44 @@ class ControllerChannel:
     # ------------------------------------------------------------------
     def _deliver_to_switch(self, message: object) -> None:
         self.messages_to_switch += 1
+        telemetry = self._telemetry
+        if telemetry is not None:
+            mods = self._flow_mod_count(message)
+            if mods:
+                gauge = telemetry.gauge("channel.flow_mods_in_flight")
+                gauge.add(mods)
+                telemetry.counter("channel.flow_mods_sent").inc(mods)
+                telemetry.emit(
+                    "channel.push",
+                    channel=self.name,
+                    mods=mods,
+                    in_flight=gauge.value,
+                )
+            for handler in list(self._to_switch):
+
+                def deliver(h=handler, m=message, n=mods) -> None:
+                    h(m)
+                    if n:
+                        telemetry.gauge("channel.flow_mods_in_flight").add(-n)
+                        telemetry.emit(
+                            "channel.delivered", channel=self.name, mods=n
+                        )
+
+                self._sim.schedule(self.latency, deliver, name=f"{self.name}:to-switch")
+            return
         for handler in list(self._to_switch):
             self._sim.schedule(
                 self.latency, lambda h=handler, m=message: h(m), name=f"{self.name}:to-switch"
             )
+
+    @staticmethod
+    def _flow_mod_count(message: object) -> int:
+        """Flow-mods carried by one channel message (0 for packet-outs)."""
+        if isinstance(message, FlowMod):
+            return 1
+        if isinstance(message, FlowModBatch):
+            return len(message.mods)
+        return 0
 
     def _deliver_to_controller(self, message: object) -> None:
         self.messages_to_controller += 1

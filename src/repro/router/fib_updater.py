@@ -26,6 +26,13 @@ from repro.net.addresses import IPv4Prefix
 from repro.router.fib import Adjacency, FlatFib
 from repro.sim.engine import EventHandle, Simulator
 
+#: Fixed bucket edges (ms) of the per-batch install-latency histogram:
+#: spans one first-entry latency (~375 ms) up to a full-table download.
+INSTALL_MS_EDGES = (1.0, 10.0, 50.0, 100.0, 250.0, 500.0, 1_000.0,
+                    5_000.0, 20_000.0, 60_000.0, 180_000.0)
+#: Fixed bucket edges of the entries-per-batch histogram.
+BATCH_ENTRIES_EDGES = (1.0, 10.0, 100.0, 1_000.0, 10_000.0, 100_000.0)
+
 
 @dataclass
 class FibUpdaterConfig:
@@ -79,6 +86,10 @@ class FibUpdater:
         self.deletes_applied = 0
         #: Per-prefix time of the most recent applied write (diagnostics).
         self.last_applied: Dict[IPv4Prefix, float] = {}
+        self._telemetry = None
+        self._batch_origin = 0.0
+        self._batch_entries = 0
+        self._batch_first_pending = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -103,6 +114,15 @@ class FibUpdater:
         """Subscribe to queue-drained events."""
         self._idle_listeners.append(callback)
 
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable trace/metric emission (batch-granular, never per entry):
+        ``fib.batch_start`` on every idle-to-busy transition,
+        ``fib.apply_first`` when the batch's first entry lands (the
+        *install* stage of the convergence timeline) and
+        ``fib.batch_drain`` with the batch's entry count and install
+        latency when the queue empties."""
+        self._telemetry = telemetry
+
     # ------------------------------------------------------------------
     # Enqueueing
     # ------------------------------------------------------------------
@@ -114,6 +134,8 @@ class FibUpdater:
             self._pending_event = self._sim.schedule(
                 self.config.first_entry_latency, self._apply_next, name=f"{self.name}:first"
             )
+            if self._telemetry is not None:
+                self._note_batch_start()
 
     def enqueue_many(self, requests: List[FibWriteRequest]) -> None:
         """Queue a batch of writes preserving order.
@@ -133,6 +155,8 @@ class FibUpdater:
             self._pending_event = self._sim.schedule(
                 self.config.first_entry_latency, self._apply_next, name=f"{self.name}:first"
             )
+            if self._telemetry is not None:
+                self._note_batch_start()
 
     #: Alias matching the flow-table/engine batch naming.
     enqueue_batch = enqueue_many
@@ -150,6 +174,9 @@ class FibUpdater:
             request = self._queue.popleft()
             self._apply(request)
         self._busy = False
+        # Boot-time path: reset the batch tracking silently (no events).
+        self._batch_first_pending = False
+        self._batch_entries = 0
         self._notify_idle()
 
     # ------------------------------------------------------------------
@@ -159,6 +186,8 @@ class FibUpdater:
         if not self._queue:
             self._busy = False
             self._pending_event = None
+            if self._telemetry is not None:
+                self._note_batch_drain()
             self._notify_idle()
             return
         request = self._queue.popleft()
@@ -170,6 +199,8 @@ class FibUpdater:
         else:
             self._busy = False
             self._pending_event = None
+            if self._telemetry is not None:
+                self._note_batch_drain()
             self._notify_idle()
 
     def _apply(self, request: FibWriteRequest) -> None:
@@ -181,9 +212,46 @@ class FibUpdater:
             self._fib.write(request.prefix, request.adjacency, now=now)
             self.writes_applied += 1
         self.last_applied[request.prefix] = now
+        if self._telemetry is not None:
+            self._batch_entries += 1
+            if self._batch_first_pending:
+                self._batch_first_pending = False
+                self._telemetry.emit(
+                    "fib.apply_first",
+                    updater=self.name,
+                    wait_ms=round((now - self._batch_origin) * 1e3, 6),
+                )
         for callback in list(self._listeners):
             callback(request.prefix, request.adjacency, now)
 
     def _notify_idle(self) -> None:
         for callback in list(self._idle_listeners):
             callback()
+
+    # ------------------------------------------------------------------
+    # Telemetry (batch-granular; call sites guard on ``is not None``)
+    # ------------------------------------------------------------------
+    def _note_batch_start(self) -> None:
+        self._batch_origin = self._sim.now
+        self._batch_entries = 0
+        self._batch_first_pending = True
+        self._telemetry.emit(
+            "fib.batch_start", updater=self.name, queue_depth=len(self._queue)
+        )
+
+    def _note_batch_drain(self) -> None:
+        if not self._batch_first_pending and self._batch_entries == 0:
+            return  # spurious wake-up (queue already flushed)
+        install_ms = round((self._sim.now - self._batch_origin) * 1e3, 6)
+        self._telemetry.histogram("fib.install_ms", INSTALL_MS_EDGES).observe(install_ms)
+        self._telemetry.histogram(
+            "fib.batch_entries", BATCH_ENTRIES_EDGES
+        ).observe(float(self._batch_entries))
+        self._telemetry.emit(
+            "fib.batch_drain",
+            updater=self.name,
+            entries=self._batch_entries,
+            install_ms=install_ms,
+        )
+        self._batch_entries = 0
+        self._batch_first_pending = False

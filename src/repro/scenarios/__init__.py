@@ -20,6 +20,7 @@ platform:
 from repro.scenarios.campaign import (
     CampaignResult,
     CampaignRunner,
+    execute_scenario,
     expand_grid,
     run_campaign,
     run_scenario,
@@ -58,6 +59,7 @@ __all__ = [
     "ScenarioSpec",
     "ScenarioSpecError",
     "build_scenario",
+    "execute_scenario",
     "expand_grid",
     "failure_campaign",
     "get_preset",

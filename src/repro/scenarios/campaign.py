@@ -20,15 +20,25 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenarios.failures import FailureInjector
 from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError, failure_campaign
-from repro.scenarios.testbed import build_scenario
+from repro.scenarios.testbed import ScenarioLab, build_scenario
 from repro.sim.engine import Simulator
+from repro.telemetry import STAGES, Histogram
 
 #: Grid key that selects a canned failure campaign instead of a spec field.
 FAILURE_GRID_KEY = "failure"
+
+#: Record keys of the per-stage convergence timeline, in pipeline order.
+STAGE_RECORD_KEYS = tuple(f"stage_{stage}_ms" for stage in STAGES)
+
+#: Fixed bucket edges (ms) used when aggregating stage offsets across a
+#: campaign — frozen so the aggregate stays byte-stable (see
+#: docs/observability.md).
+STAGE_MS_EDGES = (1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+                  1_000.0, 5_000.0, 30_000.0, 120_000.0)
 
 
 def _stats_module():
@@ -97,6 +107,15 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
     The record contains only simulated-time quantities (plus structural
     metadata), so it is bit-reproducible from the spec alone.
     """
+    record, _lab = execute_scenario(spec, timeout=timeout)
+    return record
+
+
+def execute_scenario(
+    spec: ScenarioSpec, timeout: float = 600.0
+) -> "Tuple[Dict[str, Any], ScenarioLab]":
+    """Like :func:`run_scenario`, but also returns the finished lab so
+    callers (``cli trace``, tests) can inspect its telemetry context."""
     sim = Simulator(seed=spec.seed)
     lab = build_scenario(sim, spec)
     lab.start()
@@ -137,6 +156,24 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
         samples = [0.0 for _ in lab.monitored_destinations]
     stats = _stats_module().BoxStats.from_samples(samples) if samples else None
     engines = lab.remote_engines()
+    # Final occupancy sample so the metrics registry's gauges reflect the
+    # end state (the record itself reads the objects directly).
+    for controller in lab.controllers:
+        controller.sample_occupancy()
+    stages = lab.stage_offsets()
+    provisioners = [
+        controller.provisioner
+        for controller in lab.controllers
+        if controller.provisioner is not None
+    ]
+    flow_mod_batches = sum(p.batches_pushed for p in provisioners)
+    flow_mods_pushed = sum(p.rules_pushed for p in provisioners)
+    flow_mods_batched = sum(p.rules_pushed_batched for p in provisioners)
+    queue_gauge = (
+        lab.telemetry.metrics.get("channel.flow_mods_in_flight")
+        if lab.telemetry is not None
+        else None
+    )
     record: Dict[str, Any] = {
         "name": spec.name,
         "seed": spec.seed,
@@ -166,8 +203,28 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
         "events_fired": len(injector.log),
         "sim_time_s": round(sim.now, 6),
         "sim_events": sim.events_executed,
+        # --- telemetry: per-stage convergence timeline -----------------
+        "telemetry": spec.telemetry,
+        "stage_detect_ms": stages["detect"],
+        "stage_decide_ms": stages["decide"],
+        "stage_push_ms": stages["push"],
+        "stage_install_ms": stages["install"],
+        # --- telemetry: gauges and flow-mod accounting -----------------
+        "flow_mod_queue_peak": (
+            queue_gauge.high_water if queue_gauge is not None else None
+        ),
+        "group_count": sum(c.group_count() for c in lab.controllers),
+        "vnh_occupancy": sum(c.allocator.allocated_count for c in lab.controllers),
+        "flow_mod_batches": flow_mod_batches,
+        "flow_mods_pushed": flow_mods_pushed,
+        "flow_mods_per_batch": (
+            round(flow_mods_batched / flow_mod_batches, 6) if flow_mod_batches else 0.0
+        ),
+        "trace_events": (
+            lab.telemetry.trace.emitted if lab.telemetry is not None else None
+        ),
     }
-    return record
+    return record, lab
 
 
 def _run_scenario_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
@@ -210,7 +267,30 @@ class CampaignResult:
             "median_max_ms": round(summary.median, 6),
             "mean_median_ms": round(sum(medians) / len(medians), 6),
             "total_sim_events": sum(row["sim_events"] for row in self.scenarios),
+            "total_flow_mod_batches": sum(
+                row.get("flow_mod_batches", 0) for row in self.scenarios
+            ),
+            "total_flow_mods_pushed": sum(
+                row.get("flow_mods_pushed", 0) for row in self.scenarios
+            ),
+            "stage_histograms": self.stage_histograms(),
         }
+
+    def stage_histograms(self) -> Dict[str, Any]:
+        """Fixed-edge histograms of each stage's offsets across scenarios.
+
+        Aggregates the per-record ``stage_*_ms`` fields (skipping ``None``
+        — stages never observed or telemetry-off runs), so campaign sweeps
+        land per-stage distributions in the results store."""
+        histograms: Dict[str, Any] = {}
+        for stage, key in zip(STAGES, STAGE_RECORD_KEYS):
+            histogram = Histogram(key, STAGE_MS_EDGES)
+            for row in self.scenarios:
+                value = row.get(key)
+                if value is not None:
+                    histogram.observe(value)
+            histograms[stage] = histogram.to_dict()
+        return histograms
 
     def to_report(self) -> Dict[str, Any]:
         """The full JSON-ready report (header + scenarios + aggregate)."""
@@ -260,6 +340,60 @@ class CampaignResult:
                 ]
             )
         return _stats_module().format_table(headers, rows)
+
+    def stage_table(self) -> str:
+        """Paper-style per-stage convergence breakdown, one scenario per
+        row: milliseconds from the failure to detect → decide → push →
+        install, plus the exported gauges."""
+        headers = [
+            "scenario", "mode", "detect (ms)", "decide (ms)", "push (ms)",
+            "install (ms)", "fm batches", "fm/batch", "queue peak",
+            "groups", "vnh",
+        ]
+
+        def fmt(value: Any) -> str:
+            if value is None:
+                return "-"
+            if isinstance(value, float):
+                return f"{value:.1f}"
+            return str(value)
+
+        rows = []
+        for row in self.scenarios:
+            rows.append(
+                [
+                    row["name"],
+                    "SC" if row["supercharged"] else "standalone",
+                    fmt(row.get("stage_detect_ms")),
+                    fmt(row.get("stage_decide_ms")),
+                    fmt(row.get("stage_push_ms")),
+                    fmt(row.get("stage_install_ms")),
+                    fmt(row.get("flow_mod_batches")),
+                    fmt(row.get("flow_mods_per_batch")),
+                    fmt(row.get("flow_mod_queue_peak")),
+                    fmt(row.get("group_count")),
+                    fmt(row.get("vnh_occupancy")),
+                ]
+            )
+        return _stats_module().format_table(headers, rows)
+
+    def stage_summary(self) -> str:
+        """Campaign-level stage summary (mean/min/max over the scenarios
+        that observed each stage)."""
+        lines = []
+        for stage, key in zip(STAGES, STAGE_RECORD_KEYS):
+            values = [
+                row[key] for row in self.scenarios if row.get(key) is not None
+            ]
+            if values:
+                mean = sum(values) / len(values)
+                lines.append(
+                    f"  {stage:<8}: n={len(values)}  mean {mean:8.1f} ms"
+                    f"  min {min(values):8.1f} ms  max {max(values):8.1f} ms"
+                )
+            else:
+                lines.append(f"  {stage:<8}: n=0")
+        return "\n".join(lines)
 
 
 # ----------------------------------------------------------------------

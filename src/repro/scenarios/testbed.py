@@ -41,6 +41,15 @@ from repro.routes.prefix_gen import PrefixGenerator
 from repro.routes.ris_feed import RouteFeed, churn_stream, synthetic_full_table
 from repro.scenarios.spec import ScenarioSpec
 from repro.sim.engine import Simulator
+from repro.telemetry import (
+    STAGE_DECIDE,
+    STAGE_DETECT,
+    STAGE_INSTALL,
+    STAGE_PUSH,
+    StageTimeline,
+    Telemetry,
+    timeline_recorder,
+)
 from repro.traffic.flows import FlowSpec
 from repro.traffic.generator import TrafficSource, TrafficSourceConfig
 from repro.traffic.monitor import TrafficSink
@@ -189,10 +198,17 @@ class DetectionTracker:
         self.events: List[DetectionEvent] = []
         self._seen: set = set()
         self._listeners: List[Callable[[DetectionEvent], None]] = []
+        self._telemetry = None
 
     def on_record(self, callback: Callable[[DetectionEvent], None]) -> None:
         """Register a listener fired for every newly recorded event."""
         self._listeners.append(callback)
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Mirror every recorded observation onto the trace bus as
+        ``detection.<path>`` (e.g. ``detection.bfd``) — the *detect* stage
+        of the convergence timeline."""
+        self._telemetry = telemetry
 
     def new_episode(self) -> None:
         """Open a fresh episode (each mechanism may record once again)."""
@@ -206,6 +222,12 @@ class DetectionTracker:
         self._seen.add(key)
         event = DetectionEvent(self._sim.now, path, peer_ip)
         self.events.append(event)
+        if self._telemetry is not None:
+            self._telemetry.counter(f"detection.{path}").inc()
+            self._telemetry.emit(
+                f"detection.{path}",
+                peer=str(peer_ip) if peer_ip is not None else None,
+            )
         for callback in list(self._listeners):
             callback(event)
 
@@ -327,6 +349,17 @@ class ScenarioLab:
         self.detection.on_record(self._detection_recorded)
         #: Updates scheduled by :meth:`start_churn` (0 = churn disabled).
         self.churn_updates_scheduled = 0
+        #: Sim-time observability context (None when the spec disables it).
+        self.telemetry: Optional[Telemetry] = (
+            Telemetry(clock=lambda: sim.now, trace_capacity=spec.trace_capacity)
+            if spec.telemetry
+            else None
+        )
+        #: Per-episode convergence stage marks (detect/decide/push/install).
+        self.stage_timeline = StageTimeline()
+        #: Stage offsets of *closed* episodes (archived by the next
+        #: :meth:`note_failure`), oldest first.
+        self.stage_episodes: List[Dict[str, Optional[float]]] = []
         self._built = False
 
     @staticmethod
@@ -409,6 +442,7 @@ class ScenarioLab:
             self._build_controllers()
         self._configure_control_plane()
         self._wire_detection()
+        self._wire_telemetry()
         return self
 
     def _build_routers(self) -> None:
@@ -719,6 +753,74 @@ class ScenarioLab:
             self.monitor.note_detection(winner.path)
 
     # ------------------------------------------------------------------
+    # Telemetry wiring
+    # ------------------------------------------------------------------
+    def _stage_mapping(self) -> Dict[str, str]:
+        """Trace event name → convergence stage, per mode.
+
+        Supercharged mode follows the paper's data-plane pipeline: the
+        controller's BFD detects, Listing 2 (or a remote flush) decides,
+        the flow-mod crossing the OpenFlow channel is the push, and the
+        switch applying it is the install.  Standalone mode follows the
+        router's own pipeline: BFD/BGP detects, the session flush (which
+        triggers the Loc-RIB recomputation) decides, the RIB→FIB download
+        starting is the push, and the first hardware entry landing is the
+        install."""
+        if self.spec.supercharged:
+            return {
+                f"detection.{DETECTION_BFD}": STAGE_DETECT,
+                f"detection.{DETECTION_BGP}": STAGE_DETECT,
+                "ctrl.failover": STAGE_DECIDE,
+                "remote.flush": STAGE_DECIDE,
+                "channel.delivered": STAGE_PUSH,
+                "switch.flow_mod_applied": STAGE_INSTALL,
+            }
+        return {
+            f"detection.{DETECTION_BFD}": STAGE_DETECT,
+            f"detection.{DETECTION_BGP}": STAGE_DETECT,
+            "bgp.session_down": STAGE_DECIDE,
+            "fib.batch_start": STAGE_PUSH,
+            "fib.apply_first": STAGE_INSTALL,
+        }
+
+    def _wire_telemetry(self) -> None:
+        """Attach the scenario's telemetry context to every instrumented
+        component at the measured vantage (the first edge router and the
+        controller plane), and subscribe the stage timeline to the trace
+        bus.  Purely observational: no events, randomness or state changes
+        enter the simulation, so the trajectory is identical with
+        telemetry on or off."""
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        self.detection.attach_telemetry(telemetry)
+        measured = self.edge_routers[0]
+        measured.fib_updater.attach_telemetry(telemetry)
+        measured.bgp.attach_telemetry(telemetry)
+        if not self.spec.supercharged and measured.bfd is not None:
+            measured.bfd.attach_telemetry(telemetry)
+        for controller in self.controllers:
+            controller.attach_telemetry(telemetry)
+        if self.switch is not None and self.spec.supercharged:
+            self.switch.on_flow_mod_applied(
+                lambda flow_mod: telemetry.emit("switch.flow_mod_applied")
+            )
+        telemetry.trace.on_emit(
+            timeline_recorder(self.stage_timeline, self._stage_mapping())
+        )
+
+    def stage_offsets(self) -> Dict[str, Optional[float]]:
+        """Milliseconds from the *first* noted failure to each convergence
+        stage's first observation during that episode (all ``None`` when
+        telemetry is off or nothing failed).  Later episodes (flap cycles,
+        repeated injections) are archived in :attr:`stage_episodes`."""
+        if self.telemetry is None or self.last_failure_time is None:
+            return {stage: None for stage in ("detect", "decide", "push", "install")}
+        if self.stage_episodes:
+            return dict(self.stage_episodes[0])
+        return self.stage_timeline.offsets_ms(self.last_failure_time)
+
+    # ------------------------------------------------------------------
     # Workflow
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -864,11 +966,26 @@ class ScenarioLab:
     ) -> float:
         """Record the instant (and, if known, the provider) of a failure
         event — the anchors :meth:`measure` reports against."""
+        if self.telemetry is not None and self.last_failure_time is not None:
+            # Close the running episode: archive its stage offsets before
+            # the timeline resets for the new one.
+            self.stage_episodes.append(
+                self.stage_timeline.offsets_ms(self.last_failure_time)
+            )
         self.last_failure_time = self.sim.now if when is None else when
         if provider_index is not None:
             self.last_failed_provider = provider_index
         # A fresh detection episode: every mechanism may claim this failure.
         self.detection.new_episode()
+        self.stage_timeline.reset()
+        if self.telemetry is not None:
+            self.telemetry.counter("lab.episodes").inc()
+            self.telemetry.emit(
+                "lab.episode",
+                provider=self.last_failed_provider
+                if self.last_failed_provider is not None
+                else -1,
+            )
         if self.monitor is not None:
             self.monitor.clear_detection()
         return self.last_failure_time

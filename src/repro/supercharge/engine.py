@@ -92,6 +92,14 @@ class RemoteRepointEngine:
         self.flow_mods = 0
         self.prefixes_covered = 0
         self.fallback_prefixes = 0
+        self._telemetry = None
+
+    def attach_telemetry(self, telemetry) -> None:
+        """Enable flush telemetry: a ``remote.flush`` trace event per flush
+        run (dirty groups seen, pending-buffer depth, repoints, fallback
+        prefixes — the *decide* stage for remote failures) plus a
+        pending-depth gauge sampled at flush time."""
+        self._telemetry = telemetry
 
     # ------------------------------------------------------------------
     # RIB entry point
@@ -139,9 +147,13 @@ class RemoteRepointEngine:
         actions: List[ProvisioningAction] = []
         covered = 0
         fallback = 0
+        dirty_groups = 0
+        pending_depth = 0
         for group in self._planner.take_dirty():
             if not group.pending:
                 continue  # drained back to steady state before the flush
+            dirty_groups += 1
+            pending_depth += len(group.pending)
             decision = self._decide(group)
             if decision is not None:
                 target, new_key = decision
@@ -186,6 +198,19 @@ class RemoteRepointEngine:
             self.flow_mods += flow_mods
             self.prefixes_covered += covered
             self.fallback_prefixes += fallback
+            if self._telemetry is not None:
+                self._telemetry.gauge("remote.pending_depth").set(pending_depth)
+                self._telemetry.counter("remote.flushes").inc()
+                self._telemetry.counter("remote.fallback_prefixes").inc(fallback)
+                self._telemetry.emit(
+                    "remote.flush",
+                    dirty_groups=dirty_groups,
+                    pending_depth=pending_depth,
+                    groups_repointed=repointed,
+                    flow_mods=flow_mods,
+                    prefixes_covered=covered,
+                    fallback_prefixes=fallback,
+                )
         # Deferrals may have raced in behind the flush point.
         self._arm_flush()
 

@@ -1,0 +1,99 @@
+"""Sim-time observability: trace bus + metrics registry + stage timeline.
+
+:class:`Telemetry` bundles the two halves every instrumented component
+needs — a :class:`~repro.telemetry.trace.TraceBus` for structured events
+and a :class:`~repro.telemetry.metrics.MetricsRegistry` for counters,
+gauges and fixed-edge histograms — behind one handle that is attached
+*optionally*:
+
+    class Component:
+        def __init__(self):
+            self._telemetry = None          # disabled: zero overhead
+
+        def attach_telemetry(self, telemetry):
+            self._telemetry = telemetry
+
+        def hot_path(self):
+            ...
+            if self._telemetry is not None:  # guard at the call site
+                self._telemetry.emit("component.thing", value=42)
+
+The contract (see ``docs/observability.md``):
+
+* **zero-cost when disabled** — call sites guard on ``is not None``; no
+  telemetry object is ever constructed unless a scenario asks for one;
+* **deterministic when enabled** — only sim-time quantities are
+  recorded, emission is passive (no scheduling, no randomness), so the
+  simulation trajectory is bit-identical with telemetry on or off and
+  the recorded output is byte-identical across serial/pooled/rerun;
+* **byte-stable serialisation** — sorted keys, fixed histogram edges,
+  rounded floats.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, IO, Optional, Sequence
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.timeline import (
+    STAGE_DECIDE,
+    STAGE_DETECT,
+    STAGE_INSTALL,
+    STAGE_PUSH,
+    STAGES,
+    StageTimeline,
+    timeline_recorder,
+)
+from repro.telemetry.trace import Span, TraceBus, TraceEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "StageTimeline",
+    "STAGES",
+    "STAGE_DETECT",
+    "STAGE_DECIDE",
+    "STAGE_PUSH",
+    "STAGE_INSTALL",
+    "Telemetry",
+    "TraceBus",
+    "TraceEvent",
+    "timeline_recorder",
+]
+
+
+class Telemetry:
+    """One scenario's observability context (trace bus + metrics)."""
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        trace_capacity: int = 4096,
+        sink: Optional[IO[str]] = None,
+    ) -> None:
+        self.trace = TraceBus(clock, capacity=trace_capacity, sink=sink)
+        self.metrics = MetricsRegistry()
+
+    # Convenience pass-throughs so instrumented code reads naturally.
+    def emit(self, name: str, **fields: Any) -> TraceEvent:
+        """Emit a trace event (see :meth:`TraceBus.emit`)."""
+        return self.trace.emit(name, **fields)
+
+    def span(self, name: str, **fields: Any) -> Span:
+        """Open a sim-time span (see :meth:`TraceBus.span`)."""
+        return self.trace.span(name, **fields)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create a gauge."""
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
+        """Get or create a fixed-edge histogram."""
+        return self.metrics.histogram(name, edges)

@@ -180,3 +180,78 @@ def test_scenarios_run_remote_supercharge_preset(capsys):
     output = capsys.readouterr().out
     assert code == 0
     assert "remote_withdraw" in output
+
+
+def test_detection_command_json_mode(capsys):
+    code = main(["detection", "--prefixes", "40", "--flows", "4", "--json"])
+    output = capsys.readouterr().out
+    assert code == 0
+    import json
+
+    payload = json.loads(output)
+    assert payload["consistent"] is True
+    assert {row["fault"] for row in payload["rows"]} == {"local", "remote"}
+    assert all("detection_ms" in row for row in payload["rows"])
+
+
+def test_remote_supercharge_command_json_mode(capsys):
+    code = main([
+        "remote-supercharge", "--prefixes", "30", "60", "--flows", "4", "--json",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    import json
+
+    payload = json.loads(output)
+    assert payload["acceptance_ok"] is True
+    assert {point["grouped"] for point in payload["points"]} == {True, False}
+    assert set(payload["speedups"]) == {"30", "60"}
+
+
+def test_metrics_command_prints_stage_breakdown(capsys):
+    code = main([
+        "metrics", "--prefixes", "30", "--flows", "3",
+        "--failures", "link_down", "bfd_loss",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "detect (ms)" in output and "install (ms)" in output
+    assert "fm batches" in output
+    assert "mean" in output  # the per-stage summary block
+
+
+def test_metrics_command_json_mode(capsys):
+    code = main(["metrics", "--prefixes", "30", "--flows", "3", "--json"])
+    output = capsys.readouterr().out
+    assert code == 0
+    import json
+
+    payload = json.loads(output)
+    assert payload["all_converged"] is True
+    assert set(payload["stage_histograms"]) == {
+        "detect", "decide", "push", "install",
+    }
+
+
+def test_trace_command_dumps_events(capsys):
+    code = main(["trace", "--prefixes", "30", "--flows", "3"])
+    output = capsys.readouterr().out
+    assert code == 0
+    assert "events" in output
+    assert "bfd.down" in output
+    assert "fib.batch_drain" in output
+
+
+def test_trace_command_json_filtered(capsys):
+    code = main([
+        "trace", "--prefixes", "30", "--flows", "3",
+        "--event", "ctrl.failover", "--json",
+    ])
+    output = capsys.readouterr().out
+    assert code == 0
+    import json
+
+    payload = json.loads(output)
+    assert payload["emitted"] > 0
+    assert len(payload["events"]) == 1
+    assert payload["events"][0]["name"] == "ctrl.failover"

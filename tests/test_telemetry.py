@@ -1,0 +1,414 @@
+"""Tests for the sim-time telemetry subsystem.
+
+Covers the instrument primitives (counters, gauges, fixed-edge
+histograms), the trace bus (ring buffer, JSONL sink, spans, listeners),
+the stage timeline, and the scenario-level contract: telemetry is
+passive (the simulation trajectory is identical with it on or off),
+deterministic across serial/pooled execution, and campaign records carry
+the paper's detect → decide → push → install decomposition.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.net.addresses import IPv4Address
+from repro.scenarios import expand_grid, run_campaign, run_scenario
+from repro.scenarios.presets import get_preset
+from repro.scenarios.spec import FailureSpec, ScenarioSpec
+from repro.scenarios.testbed import (
+    DETECTION_BFD,
+    DETECTION_BGP,
+    DETECTION_CONTROLLER_PUSH,
+    DetectionTracker,
+)
+from repro.sim.engine import Simulator
+from repro.telemetry import (
+    STAGES,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StageTimeline,
+    Telemetry,
+    TraceBus,
+    timeline_recorder,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_to_dict(self):
+        counter = Counter("c")
+        counter.inc(2)
+        assert counter.to_dict() == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_tracks_high_water_and_samples(self):
+        gauge = Gauge("g")
+        gauge.set(3)
+        gauge.set(7)
+        gauge.set(2)
+        assert gauge.value == 2
+        assert gauge.high_water == 7
+        assert gauge.samples == 3
+
+    def test_add_models_queue_occupancy(self):
+        gauge = Gauge("g")
+        gauge.add(5)
+        gauge.add(-3)
+        assert gauge.value == 2
+        assert gauge.high_water == 5
+
+    def test_to_dict(self):
+        gauge = Gauge("g")
+        gauge.set(4)
+        assert gauge.to_dict() == {
+            "type": "gauge",
+            "value": 4,
+            "high_water": 4,
+            "samples": 1,
+        }
+
+
+class TestHistogram:
+    def test_buckets_are_upper_bounds_with_overflow(self):
+        histogram = Histogram("h", (1.0, 10.0, 100.0))
+        for value in (0.5, 1.0, 5.0, 100.0, 1000.0):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1, 1]
+        assert histogram.count == 5
+        assert histogram.min == 0.5
+        assert histogram.max == 1000.0
+        assert histogram.mean == pytest.approx(1106.5 / 5)
+
+    def test_empty_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_non_increasing_edges_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (5.0, 1.0))
+
+    def test_to_dict_is_primitive_and_rounded(self):
+        histogram = Histogram("h", (1.0,))
+        histogram.observe(0.1234567891234)
+        snapshot = histogram.to_dict()
+        assert snapshot["edges"] == [1.0]
+        assert snapshot["counts"] == [1, 0]
+        assert snapshot["total"] == round(0.1234567891234, 9)
+        json.dumps(snapshot, sort_keys=True)  # must serialise cleanly
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_shares_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.counter("a").value == 2
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_histogram_edge_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("h", (1.0, 2.0))
+        registry.histogram("h", (1.0, 2.0))  # same edges: fine
+        with pytest.raises(ValueError):
+            registry.histogram("h", (1.0, 3.0))
+
+    def test_names_and_to_dict_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert list(registry.to_dict()) == ["a", "b"]
+        assert registry.get("a") is registry.gauge("a")
+        assert registry.get("missing") is None
+        assert len(registry) == 2
+
+
+class TestTraceBus:
+    def test_emit_stamps_the_injected_clock(self):
+        now = [0.0]
+        bus = TraceBus(clock=lambda: now[0])
+        bus.emit("first")
+        now[0] = 2.5
+        event = bus.emit("second", peer="10.0.0.2")
+        assert event.at == 2.5
+        assert event.fields == {"peer": "10.0.0.2"}
+        assert [e.name for e in bus.events()] == ["first", "second"]
+        assert bus.events(name="second") == [event]
+
+    def test_ring_buffer_evicts_oldest(self):
+        bus = TraceBus(clock=lambda: 0.0, capacity=3)
+        for i in range(5):
+            bus.emit(f"e{i}")
+        assert [e.name for e in bus.events()] == ["e2", "e3", "e4"]
+        assert bus.emitted == 5  # the counter survives eviction
+        bus.clear()
+        assert bus.events() == []
+        assert bus.emitted == 5
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TraceBus(clock=lambda: 0.0, capacity=0)
+
+    def test_jsonl_sink_writes_sorted_lines(self):
+        sink = io.StringIO()
+        bus = TraceBus(clock=lambda: 1.5, sink=sink)
+        bus.emit("x", b=2, a=1)
+        line = sink.getvalue().strip()
+        assert json.loads(line) == {"at": 1.5, "name": "x", "fields": {"a": 1, "b": 2}}
+        assert line == json.dumps(json.loads(line), sort_keys=True)
+
+    def test_listeners_fire_per_event(self):
+        bus = TraceBus(clock=lambda: 0.0)
+        seen = []
+        bus.on_emit(lambda event: seen.append(event.name))
+        bus.emit("a")
+        bus.emit("b")
+        assert seen == ["a", "b"]
+
+    def test_span_measures_sim_time(self):
+        now = [1.0]
+        bus = TraceBus(clock=lambda: now[0])
+        span = bus.span("work", phase="flush")
+        now[0] = 1.25
+        event = span.end(entries=3)
+        assert span.closed
+        assert event.fields == {"phase": "flush", "entries": 3, "duration": 0.25}
+        assert event.at == 1.25
+
+
+class TestStageTimeline:
+    def test_first_mark_wins(self):
+        timeline = StageTimeline()
+        timeline.mark("detect", 1.0)
+        timeline.mark("detect", 2.0)
+        assert timeline.instant("detect") == 1.0
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimeline().mark("teleport", 1.0)
+
+    def test_offsets_ms_and_reset(self):
+        timeline = StageTimeline()
+        timeline.mark("detect", 1.010)
+        timeline.mark("install", 1.5)
+        offsets = timeline.offsets_ms(1.0)
+        assert offsets["detect"] == pytest.approx(10.0)
+        assert offsets["install"] == pytest.approx(500.0)
+        assert offsets["decide"] is None and offsets["push"] is None
+        timeline.reset()
+        assert timeline.instant("detect") is None
+
+    def test_timeline_recorder_maps_event_names(self):
+        timeline = StageTimeline()
+        bus = TraceBus(clock=lambda: 3.0)
+        bus.on_emit(timeline_recorder(timeline, {"bfd.down": "detect"}))
+        bus.emit("unrelated")
+        bus.emit("bfd.down")
+        assert timeline.instant("detect") == 3.0
+
+
+class TestTelemetryFacade:
+    def test_passthroughs_share_registries(self):
+        telemetry = Telemetry(clock=lambda: 0.5)
+        telemetry.counter("c").inc()
+        telemetry.gauge("g").set(2)
+        telemetry.histogram("h", (1.0,)).observe(0.5)
+        telemetry.emit("event", x=1)
+        assert telemetry.metrics.counter("c").value == 1
+        assert telemetry.trace.events()[0].name == "event"
+        span = telemetry.span("s")
+        assert span.end().fields["duration"] == 0.0
+
+
+# ----------------------------------------------------------------------
+# DetectionTracker edge cases
+# ----------------------------------------------------------------------
+class TestDetectionTrackerEdgeCases:
+    def _tracker(self):
+        return DetectionTracker(Simulator(seed=1))
+
+    def test_same_instant_bfd_vs_bgp_tie_goes_to_bfd(self):
+        # A BFD trigger tears the BGP session down in the same sim instant;
+        # the detector caused it, so attribution must say BFD even when the
+        # BGP observation happened to be recorded first.
+        tracker = self._tracker()
+        peer = IPv4Address("10.0.0.2")
+        tracker.record(DETECTION_BGP, peer)
+        tracker.record(DETECTION_BFD, peer)
+        winner = tracker.first_detection(0.0)
+        assert winner is not None and winner.path == DETECTION_BFD
+
+    def test_overlapping_outages_keep_per_peer_attribution(self):
+        # Two providers fail inside the same episode: each peer keeps its
+        # own first detection, and the episode winner is the earliest.
+        sim = Simulator(seed=1)
+        tracker = DetectionTracker(sim)
+        p2, p3 = IPv4Address("10.0.0.2"), IPv4Address("10.0.0.3")
+        sim.schedule(0.1, lambda: tracker.record(DETECTION_BFD, p2), "bfd-p2")
+        sim.schedule(0.3, lambda: tracker.record(DETECTION_BGP, p3), "bgp-p3")
+        sim.run()
+        assert tracker.first_detection(0.0, peer_ip=p2).path == DETECTION_BFD
+        assert tracker.first_detection(0.0, peer_ip=p3).path == DETECTION_BGP
+        assert tracker.first_detection(0.0).at == pytest.approx(0.1)
+        # The per-episode dedup keeps one event per (path, peer) pair.
+        tracker.record(DETECTION_BFD, p2)
+        assert len(tracker.events) == 2
+
+    def test_controller_push_never_wins_detection(self):
+        tracker = self._tracker()
+        tracker.record(DETECTION_CONTROLLER_PUSH, None)
+        assert tracker.first_detection(0.0) is None
+        assert tracker.first_push(0.0) is not None
+        tracker.record(DETECTION_BGP, IPv4Address("10.0.0.2"))
+        assert tracker.first_detection(0.0).path == DETECTION_BGP
+
+    def test_redundant_controller_replicas_dedup_to_one_observation(self):
+        # With redundant controllers both replicas watch the same BFD
+        # sessions; the tracker's per-episode dedup must collapse the
+        # replicas' concurrent observations into one attributed event.
+        spec = get_preset(
+            "figure4", num_prefixes=40, monitored_flows=5, seed=7
+        ).with_overrides(redundant_controllers=True).validate()
+        record = run_scenario(spec)
+        assert record["detection_path"] == "bfd"
+        assert record["recovered"]
+
+    def test_new_episode_reopens_dedup(self):
+        tracker = self._tracker()
+        peer = IPv4Address("10.0.0.2")
+        tracker.record(DETECTION_BFD, peer)
+        tracker.record(DETECTION_BFD, peer)
+        assert len(tracker.events) == 1
+        tracker.new_episode()
+        tracker.record(DETECTION_BFD, peer)
+        assert len(tracker.events) == 2
+
+    def test_telemetry_mirrors_detection_records(self):
+        tracker = self._tracker()
+        telemetry = Telemetry(clock=lambda: 0.0)
+        tracker.attach_telemetry(telemetry)
+        tracker.record(DETECTION_BFD, IPv4Address("10.0.0.2"))
+        assert telemetry.metrics.counter("detection.bfd").value == 1
+        assert telemetry.trace.events(name="detection.bfd")[0].fields == {
+            "peer": "10.0.0.2"
+        }
+
+
+# ----------------------------------------------------------------------
+# Scenario-level contract
+# ----------------------------------------------------------------------
+def _small_spec(**overrides):
+    spec = get_preset("figure4", num_prefixes=40, monitored_flows=5, seed=3)
+    if overrides:
+        spec = spec.with_overrides(**overrides).validate()
+    return spec
+
+
+class TestScenarioTelemetry:
+    def test_disabling_telemetry_does_not_change_the_simulation(self):
+        on = run_scenario(_small_spec(telemetry=True))
+        off = run_scenario(_small_spec(telemetry=False))
+        assert on["sim_events"] == off["sim_events"]
+        telemetry_keys = {
+            "telemetry",
+            "trace_events",
+            "flow_mod_queue_peak",
+        } | {f"stage_{stage}_ms" for stage in STAGES}
+        for key in set(on) - telemetry_keys:
+            assert on[key] == off[key], key
+        assert off["trace_events"] is None
+        assert off["stage_detect_ms"] is None
+        assert off["flow_mod_queue_peak"] is None
+
+    def test_supercharged_stage_pipeline_is_ordered(self):
+        record = run_scenario(_small_spec())
+        stages = [record[f"stage_{stage}_ms"] for stage in STAGES]
+        assert all(value is not None for value in stages)
+        detect, decide, push, install = stages
+        assert 0.0 <= detect <= decide <= push <= install
+        # The stage decomposition must be consistent with the headline
+        # detection/convergence numbers.
+        assert detect == pytest.approx(record["detection_ms"], abs=1e-3)
+        assert install <= record["max_ms"] + 1e-6
+
+    def test_standalone_stage_pipeline_is_ordered(self):
+        record = run_scenario(_small_spec(supercharged=False))
+        stages = [record[f"stage_{stage}_ms"] for stage in STAGES]
+        assert all(value is not None for value in stages)
+        detect, decide, push, install = stages
+        assert 0.0 <= detect <= decide <= push <= install
+        # Standalone install waits for the FIB's first-entry latency, so it
+        # lands far after the push stage (the paper's core observation).
+        assert install > push
+
+    def test_record_carries_gauges_and_batch_stats(self):
+        record = run_scenario(_small_spec())
+        assert record["telemetry"] is True
+        assert record["group_count"] >= 1
+        assert record["vnh_occupancy"] >= 1
+        assert record["flow_mod_batches"] >= 1
+        assert record["flow_mods_per_batch"] >= 1.0
+        assert record["flow_mod_queue_peak"] >= 1
+        assert record["trace_events"] > 0
+
+    def test_no_failure_scenario_has_empty_stage_timeline(self):
+        record = run_scenario(_small_spec(failures=[]))
+        for stage in STAGES:
+            assert record[f"stage_{stage}_ms"] is None
+
+    def test_serial_and_pooled_campaigns_are_byte_identical(self):
+        grid = {"failure": ["link_down", "bfd_loss"]}
+        serial = run_campaign(_small_spec(), grid, workers=1)
+        pooled = run_campaign(_small_spec(), grid, workers=2)
+        assert json.dumps(serial.scenarios, sort_keys=True) == json.dumps(
+            pooled.scenarios, sort_keys=True
+        )
+
+    def test_aggregate_includes_stage_histograms(self):
+        result = run_campaign(_small_spec(), {"failure": ["link_down"]}, workers=1)
+        aggregate = result.aggregate()
+        assert aggregate["total_flow_mod_batches"] >= 1
+        assert aggregate["total_flow_mods_pushed"] >= 1
+        histograms = aggregate["stage_histograms"]
+        assert set(histograms) == set(STAGES)
+        for stage in STAGES:
+            assert histograms[stage]["count"] == 1
+        assert "detect" in result.stage_table()
+        assert "install" in result.stage_summary()
+
+    def test_multi_episode_record_reports_the_first_episode(self):
+        spec = _small_spec(
+            failures=[FailureSpec(kind="link_flap", at=0.5, count=2, period=1.0)]
+        )
+        record = run_scenario(spec)
+        # Flap cycles open several episodes; the exported offsets must be
+        # the first episode's (matching detection_ms semantics).
+        assert record["stage_detect_ms"] is not None
+        assert record["stage_detect_ms"] == pytest.approx(
+            record["detection_ms"], abs=1e-3
+        )
+
+    def test_trace_capacity_is_validated(self):
+        with pytest.raises(Exception):
+            ScenarioSpec(name="bad", trace_capacity=0).validate()
