@@ -37,9 +37,9 @@ from benchmarks.test_bench_dataplane import (  # noqa: E402
     REPO_ROOT,
     run_worker,
 )
-from benchmarks.test_bench_remote import (  # noqa: E402
-    CONFIG as REMOTE_CONFIG,
-    run_worker as run_remote_worker,
+from benchmarks.test_bench_scale import (  # noqa: E402
+    CONFIG as SCALE_CONFIG,
+    run_worker as run_scale_worker,
 )
 
 TRAJECTORY_PATH = os.path.join(REPO_ROOT, "BENCH_trajectory.jsonl")
@@ -78,18 +78,27 @@ def summarise(report: dict) -> dict:
 def summarise_remote(report: dict) -> dict:
     """The remote-repoint headline numbers tracked across PRs.
 
-    All simulated (deterministic) quantities: the grouped-vs-per-prefix
-    restoration speedup at the largest benchmarked table, and the flow-mod
-    footprint proving the O(#groups) claim."""
+    Sourced from the int-coded scale bench (10k/100k prefixes, 1M behind
+    ``REMOTE_SCALE_1M=1``): the grouped-vs-per-prefix restoration speedup
+    at the largest benchmarked table, the flow-mod footprint proving the
+    O(#groups) claim, and the peak RSS bound of the int-coded build.
+    Reports from the older object-path worker (``REMOTE_REPORT``) are
+    still accepted via ``--remote-from-report``; they carry no RSS
+    measurement."""
     largest = report.get("largest")
     if not largest:
         return {}
-    return {
+    entry = {
         "remote_repoint_speedup": largest["speedup"],
-        "remote_repoint_flow_mods": largest["grouped_flow_mods"],
+        "remote_repoint_flow_mods": largest.get(
+            "flow_mods", largest.get("grouped_flow_mods")
+        ),
         "remote_repoint_groups": largest["groups"],
         "remote_repoint_table_size": largest["num_prefixes"],
     }
+    if "rss_mb" in largest:
+        entry["remote_repoint_rss_mb"] = largest["rss_mb"]
+    return entry
 
 
 def main() -> int:
@@ -108,14 +117,16 @@ def main() -> int:
     parser.add_argument("--label", default=None,
                         help="free-form label stored with the entry")
     parser.add_argument("--skip-remote", action="store_true",
-                        help="skip the remote-repoint measurement (its"
-                             " numbers are simulated, hence cheap and"
-                             " deterministic, so it runs by default —"
-                             " including for --from-baseline entries)")
+                        help="skip the remote-repoint scale measurement"
+                             " (a few seconds of CPU at 10k/100k"
+                             " prefixes; it runs by default, including"
+                             " for --from-baseline entries)")
     parser.add_argument("--remote-from-report", default=None, metavar="PATH",
                         help="derive the remote-repoint fields from an"
-                             " existing worker report (e.g. one written"
-                             " via REMOTE_REPORT) instead of re-measuring")
+                             " existing worker report (one written via"
+                             " SCALE_REPORT, or a legacy REMOTE_REPORT"
+                             " object-path report) instead of"
+                             " re-measuring")
     arguments = parser.parse_args()
 
     if arguments.from_baseline:
@@ -144,9 +155,10 @@ def main() -> int:
             entry.update(summarise_remote(json.load(handle)))
     elif not arguments.skip_remote:
         # The remote-repoint case is measured fresh even when the rest of
-        # the entry comes from a committed report: its metrics are
-        # simulated-time, so re-running is deterministic and fast.
-        entry.update(summarise_remote(run_remote_worker(REMOTE_CONFIG)))
+        # the entry comes from a committed report: the int-coded scale
+        # curve (10k/100k, 1M behind REMOTE_SCALE_1M=1) takes only a few
+        # seconds of CPU and also records the RSS bound.
+        entry.update(summarise_remote(run_scale_worker(SCALE_CONFIG)))
     if arguments.label:
         entry["label"] = arguments.label
     with open(arguments.output, "a", encoding="utf-8") as handle:

@@ -44,6 +44,12 @@ REMOTE_FIELDS = {
     "remote_repoint_table_size": int,
 }
 
+#: Optional within the remote block: entries measured via the int-coded
+#: scale worker record the RSS bound; legacy object-path entries don't.
+REMOTE_OPTIONAL_FIELDS = {
+    "remote_repoint_rss_mb": (int, float),
+}
+
 
 def _check_entry(entry: dict, context: str) -> None:
     assert isinstance(entry, dict), f"{context}: not a JSON object"
@@ -68,6 +74,17 @@ def _check_entry(entry: dict, context: str) -> None:
         for field, kind in REMOTE_FIELDS.items():
             assert isinstance(entry[field], kind), (
                 f"{context}: {field!r} has type {type(entry[field]).__name__}"
+            )
+        for field, kind in REMOTE_OPTIONAL_FIELDS.items():
+            if field in entry:
+                assert isinstance(entry[field], kind) and entry[field] > 0, (
+                    f"{context}: {field!r} has type"
+                    f" {type(entry[field]).__name__}"
+                )
+    else:
+        for field in REMOTE_OPTIONAL_FIELDS:
+            assert field not in entry, (
+                f"{context}: {field!r} without the remote_repoint block"
             )
 
 

@@ -51,6 +51,7 @@ from repro.scenarios import (
     run_scenario,
 )
 from repro.sim.engine import Simulator
+from repro.telemetry.process import peak_rss_mb
 from repro.topology.lab import ConvergenceLab, LabConfig
 
 
@@ -310,12 +311,26 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     runner = CampaignRunner(specs, workers=arguments.workers, timeout=arguments.timeout)
     result = runner.run()
     aggregate = result.aggregate()
+    # Scale summary alongside stage timings: table sizes from the
+    # deterministic records, peak RSS from the process gauge.  Kept out
+    # of ``aggregate()`` so written reports stay byte-identical across
+    # serial/pooled/rerun.
+    scale = {
+        "rib_prefixes": sum(row["num_prefixes"] for row in result.scenarios),
+        "peak_rss_mb": round(peak_rss_mb(), 1),
+    }
     if arguments.json:
-        print(json.dumps(aggregate, indent=2, sort_keys=True))
+        print(json.dumps(dict(aggregate, scale=scale), indent=2, sort_keys=True))
     else:
         print(result.stage_table())
         print()
         print(result.stage_summary())
+        print()
+        print(
+            f"scale: {scale['rib_prefixes']} prefixes across"
+            f" {len(result.scenarios)} scenarios,"
+            f" peak rss {scale['peak_rss_mb']:.1f} MiB"
+        )
     return 0 if aggregate["all_converged"] and aggregate["all_recovered"] else 1
 
 

@@ -22,18 +22,36 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.bgp.rib import RibChange
 from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
 from repro.core.vnh_allocator import VnhAllocator
+from repro.routes.prefixcodec import decode_prefix
 
 GroupKey = Tuple[IPv4Address, ...]
 
 
 @dataclass
 class BackupGroup:
-    """One (primary, backup, …) group and its virtual identity."""
+    """One (primary, backup, …) group and its virtual identity.
+
+    Membership is held in :attr:`members` as raw keys — either
+    :class:`IPv4Prefix` objects (the base manager) or integer-coded
+    prefixes (the remote planner's full-DFZ mode, see
+    :mod:`repro.routes.prefixcodec`).  :attr:`prefixes` decodes a
+    prefix-object view on demand; hot paths should use ``members`` /
+    :attr:`prefix_count` and never force the decode.
+    """
 
     key: GroupKey
     vnh: IPv4Address
     vmac: MacAddress
-    prefixes: Set[IPv4Prefix] = field(default_factory=set)
+    #: Raw membership keys: IPv4Prefix objects or int codes, never mixed.
+    members: Set = field(default_factory=set)
+
+    @property
+    def prefixes(self) -> Set[IPv4Prefix]:
+        """Member prefixes as objects (decoded view; allocates per call)."""
+        return {
+            decode_prefix(member) if isinstance(member, int) else member
+            for member in self.members
+        }
 
     @property
     def primary(self) -> IPv4Address:
@@ -53,7 +71,7 @@ class BackupGroup:
     @property
     def prefix_count(self) -> int:
         """Number of prefixes currently mapped to the group."""
-        return len(self.prefixes)
+        return len(self.members)
 
 
 class ActionKind(enum.Enum):
@@ -180,7 +198,7 @@ class BackupGroupManager:
             group = BackupGroup(key=key, vnh=vnh, vmac=vmac)
             self._groups[key] = group
             actions.append(ProvisioningAction(kind=ActionKind.GROUP_CREATED, group=group))
-        group.prefixes.add(prefix)
+        group.members.add(prefix)
         self._group_of_prefix[prefix] = key
         actions.append(
             ProvisioningAction(
@@ -202,8 +220,8 @@ class BackupGroupManager:
         group = self._groups.get(key)
         if group is None:
             return []
-        group.prefixes.discard(prefix)
-        if not group.prefixes:
+        group.members.discard(prefix)
+        if not group.members:
             # Keep empty groups alive: their switch rule and VNH remain valid
             # and will be reused if the same (primary, backup) pair reappears,
             # which avoids churn during large reconvergence events.  They can
@@ -223,7 +241,7 @@ class BackupGroupManager:
         their VNHs.  Emitted as GROUP_RETIRED actions by the controller."""
         retired = []
         for key, group in list(self._groups.items()):
-            if not group.prefixes:
+            if not group.members:
                 del self._groups[key]
                 self._allocator.release(group.vnh)
                 retired.append(group)

@@ -46,6 +46,7 @@ from repro.net.packets import (
     IPv4Packet,
 )
 from repro.openflow.controller_channel import ControllerChannel
+from repro.telemetry.process import sample_scale_gauges
 from repro.openflow.messages import PacketIn
 from repro.sim.engine import Simulator
 from repro.supercharge.engine import RemoteRepointEngine
@@ -95,6 +96,9 @@ class ControllerConfig:
     #: before flushing (seconds); must comfortably cover one provider's
     #: withdraw burst propagation, and stay far below FIB-download time.
     remote_holddown: float = 1e-3
+    #: Full-DFZ scale mode: the remote planner keys group membership by
+    #: integer-coded prefixes (byte-identical A/B; see ScenarioSpec).
+    int_coded: bool = False
 
 
 class SuperchargedController:
@@ -119,7 +123,9 @@ class SuperchargedController:
         self.allocator = VnhAllocator(config.vnh_pool, reserved=reserved)
         if config.remote_groups:
             self.backup_groups: BackupGroupManager = RemoteGroupPlanner(
-                self.allocator, group_size=config.backup_group_size
+                self.allocator,
+                group_size=config.backup_group_size,
+                int_keys=config.int_coded,
             )
         else:
             self.backup_groups = BackupGroupManager(
@@ -225,6 +231,14 @@ class SuperchargedController:
         self._telemetry.gauge("controller.group_count").set(self.group_count())
         self._telemetry.gauge("controller.vnh_occupancy").set(
             self.allocator.allocated_count
+        )
+        # Scale gauges: table size, planner domains (one per in-process
+        # controller; sharded builds overwrite with their shard count),
+        # and peak process RSS (wall-clock; never exported byte-stably).
+        sample_scale_gauges(
+            self._telemetry,
+            rib_prefixes=len(self.bgp.loc_rib),
+            shard_count=1,
         )
 
     # ------------------------------------------------------------------

@@ -47,10 +47,18 @@ class VnhAllocator:
         vmac_base: int = DEFAULT_VMAC_BASE,
     ) -> None:
         self.pool = pool
-        self._reserved = set(reserved or set())
         self._vmac_base = vmac_base
-        self._allocated: Dict[IPv4Address, MacAddress] = {}
-        self._released: List[Tuple[IPv4Address, MacAddress]] = []
+        # All internal state is plain ints (address/MAC values): at DFZ
+        # scale the allocator sits on the group-churn path, and int sets
+        # avoid both object hashing and per-candidate object allocation in
+        # the pool scan.  Objects are materialised only at the API edge.
+        self._reserved: Set[int] = {address.value for address in (reserved or set())}
+        self._pool_net = pool.network.value
+        self._pool_last = pool.last_address.value
+        self._pool_size = pool.num_addresses
+        self._allocated: Dict[int, int] = {}  # vnh value -> vmac value
+        self._vmac_values: Set[int] = set()  # live vmacs (O(1) is_virtual_mac)
+        self._released: List[Tuple[int, int]] = []
         self._cursor = 0
 
     @property
@@ -70,18 +78,17 @@ class VnhAllocator:
             return True
         return self._next_free(self._cursor)[0] is not None
 
-    def _next_free(self, cursor: int) -> "Tuple[Optional[IPv4Address], int]":
-        """First usable pool address at/after ``cursor`` (skipping reserved
-        and network/broadcast addresses) and the cursor past it; shared by
-        :meth:`allocate` and :attr:`can_allocate` so the skip rules cannot
-        drift apart."""
-        pool_size = self.pool.num_addresses
-        while cursor < pool_size:
-            candidate = IPv4Address(self.pool.network.value + cursor)
+    def _next_free(self, cursor: int) -> Tuple[Optional[int], int]:
+        """First usable pool address value at/after ``cursor`` (skipping
+        reserved and network/broadcast addresses) and the cursor past it;
+        shared by :meth:`allocate` and :attr:`can_allocate` so the skip
+        rules cannot drift apart."""
+        while cursor < self._pool_size:
+            candidate = self._pool_net + cursor
             cursor += 1
             if candidate in self._reserved:
                 continue
-            if candidate == self.pool.network or candidate == self.pool.last_address:
+            if candidate == self._pool_net or candidate == self._pool_last:
                 continue
             return candidate, cursor
         return None, cursor
@@ -95,33 +102,42 @@ class VnhAllocator:
         """
         if self._released:
             vnh, vmac = self._released.pop(0)
-            self._allocated[vnh] = vmac
-            return vnh, vmac
-        candidate, self._cursor = self._next_free(self._cursor)
-        if candidate is None:
-            raise VnhAllocationError(
-                f"VNH pool {self.pool} exhausted after {len(self._allocated)} allocations"
-            )
-        vmac = MacAddress(self._vmac_base + len(self._allocated) + 1)
-        self._allocated[candidate] = vmac
-        return candidate, vmac
+        else:
+            vnh, self._cursor = self._next_free(self._cursor)
+            if vnh is None:
+                raise VnhAllocationError(
+                    f"VNH pool {self.pool} exhausted after"
+                    f" {len(self._allocated)} allocations"
+                )
+            # Fresh vmacs only ever mint while nothing is released, so
+            # ``len + 1`` never collides with a live allocation.
+            vmac = self._vmac_base + len(self._allocated) + 1
+        self._allocated[vnh] = vmac
+        self._vmac_values.add(vmac)
+        return IPv4Address(vnh), MacAddress(vmac)
 
     def release(self, vnh: IPv4Address) -> bool:
         """Return a pair to the allocator; returns whether it was allocated."""
-        vmac = self._allocated.pop(vnh, None)
+        vmac = self._allocated.pop(vnh.value, None)
         if vmac is None:
             return False
-        self._released.append((vnh, vmac))
+        self._vmac_values.discard(vmac)
+        self._released.append((vnh.value, vmac))
         return True
 
     def vmac_of(self, vnh: IPv4Address) -> Optional[MacAddress]:
         """The VMAC currently bound to ``vnh``, if allocated."""
-        return self._allocated.get(vnh)
+        vmac = self._allocated.get(vnh.value)
+        return MacAddress(vmac) if vmac is not None else None
 
     def allocations(self) -> Dict[IPv4Address, MacAddress]:
         """All current allocations."""
-        return dict(self._allocated)
+        return {
+            IPv4Address(vnh): MacAddress(vmac)
+            for vnh, vmac in self._allocated.items()
+        }
 
     def is_virtual_mac(self, mac: MacAddress) -> bool:
-        """Whether ``mac`` belongs to the virtual MAC range of this allocator."""
-        return mac in self._allocated.values()
+        """Whether ``mac`` belongs to the virtual MAC range of this allocator
+        (O(1): a live-vmac set replaces the original linear scan)."""
+        return mac.value in self._vmac_values

@@ -17,9 +17,22 @@ Both are built on :class:`LpmTable`, a *path-compressed* binary trie
 its full masked network and depth, so walks compare whole bit segments
 with integer xor/shift instead of descending one node per bit, and chains
 with no branch points collapse into a single edge — a 100k-prefix table
-allocates ~2 nodes per stored prefix rather than one per bit.  ``remove``
-prunes emptied branches, so long insert/delete churn (RIS replay) does
-not grow memory without bound.
+allocates ~2 nodes per stored prefix rather than one per bit.
+
+Two auxiliary structures keep the table fast at DFZ scale (ROADMAP
+item 2; see docs/performance.md):
+
+* a **per-length hash assist** — one ``{network: node}`` dict per active
+  mask length.  ``exact`` and ``remove`` become O(1) dict probes, and on
+  *dense* tables (few distinct lengths, the shape of a provider edge
+  table) ``lookup`` probes the active lengths longest-first instead of
+  walking the trie, which beats the pointer chase by a wide margin;
+* **lazy, amortised deletes** — ``remove`` only blanks the node (O(1))
+  and defers branch pruning until enough dead nodes have accumulated,
+  when one linear compaction pass restores full path compression.  This
+  fixes the churn regression where eager per-delete pruning paid more
+  than the rescan it replaced, while still keeping long insert/delete
+  churn (RIS replay) memory-bounded.
 """
 
 from __future__ import annotations
@@ -71,35 +84,107 @@ def _new_node(net: int, plen: int) -> list:
     return [net, plen, None, None, None, False, None]
 
 
+#: Netmask per prefix length (index = length), shared by the hash-probe
+#: lookup.  Matches :data:`repro.routes.prefixcodec.MASKS`.
+_MASKS: Tuple[int, ...] = tuple(IPv4Prefix.mask_for(plen) for plen in range(33))
+
+#: Length shift/mask of the integer prefix coding (see routes/prefixcodec).
+_CODE_SHIFT = 6
+_CODE_LEN_MASK = (1 << _CODE_SHIFT) - 1
+
+
+def _compress(node: list) -> Optional[list]:
+    """Post-order compaction: drop dead leaves, splice dead pass-throughs.
+
+    Returns the subtree's replacement root (``None`` when it vanished).
+    Recursion is safe: node depths strictly increase along a path and a
+    depth is 0..32, so the stack never exceeds 33 frames.
+    """
+    child = node[2]
+    if child is not None:
+        node[2] = _compress(child)
+    child = node[3]
+    if child is not None:
+        node[3] = _compress(child)
+    if node[5]:
+        return node
+    left = node[2]
+    right = node[3]
+    if left is not None and right is not None:
+        return node  # dead but still a real branch point
+    return left if left is not None else right
+
+
 class LpmTable(Generic[ValueT]):
-    """Path-compressed binary trie mapping IPv4 prefixes to values with LPM lookup."""
+    """Path-compressed binary trie mapping IPv4 prefixes to values with LPM lookup.
+
+    Alongside the trie it maintains the per-length hash assist (one
+    ``{network: node}`` dict per active mask length) giving O(1)
+    ``exact``/``remove`` and hash-probe ``lookup`` on dense tables, plus
+    the lazy-delete machinery described in the module docstring.  The
+    ``*_code`` variants take integer-coded prefixes (routes/prefixcodec)
+    and never materialise a prefix object on the way in — the storage key
+    of the full-DFZ scale path.
+    """
+
+    #: Above this many active mask lengths the longest-first hash probe
+    #: can lose to the trie walk (a miss probes every length), so
+    #: ``lookup`` falls back to the pointer chase.  DFZ-shaped tables
+    #: (/8../24 plus a tail) sit at or below it.
+    HASH_LOOKUP_MAX_LENGTHS = 25
+
+    #: Lazy deletes below this count never trigger an in-``remove``
+    #: compaction; small tables compact only via ``node_count``.
+    PRUNE_FLOOR = 4096
 
     def __init__(self) -> None:
         self._root: list = _new_node(0, 0)
         self._count = 0
+        # Per-length hash assist: plen -> {masked network -> node}.
+        self._len_maps: Dict[int, Dict[int, list]] = {}
+        # Active mask lengths, longest first (the LPM probe order).
+        self._lengths: List[int] = []
+        # Valueless nodes left behind by lazy removes, awaiting compaction.
+        self._dead = 0
 
     def insert(self, prefix: IPv4Prefix, value: ValueT) -> bool:
         """Insert or replace; returns ``True`` when the prefix was new."""
-        net = prefix.network.value
-        plen = prefix.length
+        return self._insert(prefix.network.value, prefix.length, value, prefix)
+
+    def insert_code(self, code: int, value: ValueT) -> bool:
+        """:meth:`insert` keyed by an integer-coded prefix (no object)."""
+        return self._insert(code >> _CODE_SHIFT, code & _CODE_LEN_MASK, value, None)
+
+    def _insert(
+        self, net: int, plen: int, value: ValueT, prefix: Optional[IPv4Prefix]
+    ) -> bool:
         node = self._root
+        target = None
         while True:
             node_plen = node[1]
             if node_plen == plen:
                 # By construction node[_NET] == net here.
-                was_new = not node[5]
+                if node[5]:
+                    node[4] = value
+                    node[6] = prefix
+                    return False  # replacement; already registered
+                if self._dead:
+                    # Revived what is *usually* a lazily-removed node.  A
+                    # revived split pass-through decrements spuriously, so
+                    # the counter is a heuristic floor — which is fine:
+                    # ``node_count`` compacts unconditionally.
+                    self._dead -= 1
                 node[4] = value
                 node[5] = True
                 node[6] = prefix
-                if was_new:
-                    self._count += 1
-                return was_new
+                target = node
+                break
             bit = (net >> (31 - node_plen)) & 1
             child = node[2 + bit]
             if child is None:
-                node[2 + bit] = [net, plen, None, None, value, True, prefix]
-                self._count += 1
-                return True
+                target = [net, plen, None, None, value, True, prefix]
+                node[2 + bit] = target
+                break
             child_net = child[0]
             child_plen = child[1]
             # Longest common prefix of the target and the child's segment.
@@ -116,7 +201,7 @@ class LpmTable(Generic[ValueT]):
                 node = child  # the child's whole segment matches; descend
                 continue
             # Split the compressed edge at the divergence point.
-            mid = _new_node(child_net & IPv4Prefix.mask_for(common), common)
+            mid = _new_node(child_net & _MASKS[common], common)
             node[2 + bit] = mid
             mid[2 + ((child_net >> (31 - common)) & 1)] = child
             if common == plen:
@@ -124,70 +209,88 @@ class LpmTable(Generic[ValueT]):
                 mid[4] = value
                 mid[5] = True
                 mid[6] = prefix
+                target = mid
             else:
-                mid[2 + ((net >> (31 - common)) & 1)] = [
-                    net, plen, None, None, value, True, prefix,
-                ]
-            self._count += 1
-            return True
+                target = [net, plen, None, None, value, True, prefix]
+                mid[2 + ((net >> (31 - common)) & 1)] = target
+            break
+        self._count += 1
+        len_map = self._len_maps.get(plen)
+        if len_map is None:
+            len_map = self._len_maps[plen] = {}
+            self._lengths.append(plen)
+            self._lengths.sort(reverse=True)
+        len_map[net] = target
+        return True
 
     def remove(self, prefix: IPv4Prefix) -> bool:
         """Remove the exact prefix; returns whether it was present.
 
-        Emptied branches are pruned and pass-through nodes re-compressed,
-        so delete churn never leaves dead nodes behind.
+        O(1): the node is located through the per-length hash assist and
+        merely blanked.  Branch pruning is deferred — an amortised
+        compaction runs once enough dead nodes accumulate (and on every
+        ``node_count`` read), so delete churn stays memory-bounded
+        without paying a restructuring walk per delete.
         """
-        net = prefix.network.value
-        plen = prefix.length
-        node = self._root
-        path: List[Tuple[list, int]] = []  # (parent, child slot index)
-        while node[1] < plen:
-            slot = 2 + ((net >> (31 - node[1])) & 1)
-            child = node[slot]
-            if child is None or child[1] > plen or (net ^ child[0]) >> (32 - child[1]):
-                return False
-            path.append((node, slot))
-            node = child
-        if node[1] != plen or node[0] != net or not node[5]:
+        return self._remove(prefix.network.value, prefix.length)
+
+    def remove_code(self, code: int) -> bool:
+        """:meth:`remove` keyed by an integer-coded prefix."""
+        return self._remove(code >> _CODE_SHIFT, code & _CODE_LEN_MASK)
+
+    def _remove(self, net: int, plen: int) -> bool:
+        len_map = self._len_maps.get(plen)
+        if not len_map:
             return False
-        node[5] = False
+        node = len_map.pop(net, None)
+        if node is None:
+            return False
+        if not len_map:
+            del self._len_maps[plen]
+            self._lengths.remove(plen)
         node[4] = None
+        node[5] = False
         node[6] = None
         self._count -= 1
-        # Prune upward: drop empty leaves, splice out valueless
-        # single-child pass-through nodes (restoring path compression).
-        while path:
-            parent, slot = path.pop()
-            if node[5]:
-                break
-            left = node[2]
-            right = node[3]
-            if left is not None and right is not None:
-                break  # still a real branch point
-            survivor = left if left is not None else right
-            parent[slot] = survivor  # None when the node was a leaf
-            if survivor is not None:
-                break  # splice done; the parent kept its child count
-            node = parent
+        dead = self._dead + 1
+        self._dead = dead
+        if dead > self.PRUNE_FLOOR and dead > self._count:
+            self._compact()
         return True
 
     def exact(self, prefix: IPv4Prefix) -> Optional[ValueT]:
-        """Value stored for exactly this prefix, if any."""
-        net = prefix.network.value
-        plen = prefix.length
-        node = self._root
-        while node[1] < plen:
-            child = node[2 + ((net >> (31 - node[1])) & 1)]
-            if child is None or child[1] > plen or (net ^ child[0]) >> (32 - child[1]):
-                return None
-            node = child
-        if node[1] != plen or node[0] != net:
+        """Value stored for exactly this prefix, if any (O(1))."""
+        len_map = self._len_maps.get(prefix.length)
+        if not len_map:
             return None
-        return node[4] if node[5] else None
+        node = len_map.get(prefix.network.value)
+        return node[4] if node is not None else None
+
+    def exact_code(self, code: int) -> Optional[ValueT]:
+        """:meth:`exact` keyed by an integer-coded prefix."""
+        len_map = self._len_maps.get(code & _CODE_LEN_MASK)
+        if not len_map:
+            return None
+        node = len_map.get(code >> _CODE_SHIFT)
+        return node[4] if node is not None else None
 
     def lookup(self, address: IPv4Address) -> Optional[Tuple[IPv4Prefix, ValueT]]:
         """Longest-prefix match for ``address``."""
         value = address.value
+        lengths = self._lengths
+        if len(lengths) <= self.HASH_LOOKUP_MAX_LENGTHS:
+            # Dense-table fast path: probe active lengths longest-first.
+            len_maps = self._len_maps
+            masks = _MASKS
+            for plen in lengths:
+                net = value & masks[plen]
+                node = len_maps[plen].get(net)
+                if node is not None:
+                    prefix = node[6]
+                    if prefix is None:  # int-coded insert: decode lazily
+                        prefix = node[6] = IPv4Prefix(IPv4Address(net), plen)
+                    return prefix, node[4]
+            return None
         node = self._root
         best = None
         while True:
@@ -202,11 +305,30 @@ class LpmTable(Generic[ValueT]):
             node = child
         if best is None:
             return None
-        return best[6], best[4]
+        prefix = best[6]
+        if prefix is None:  # int-coded insert: decode lazily
+            prefix = best[6] = IPv4Prefix(IPv4Address(best[0]), best[1])
+        return prefix, best[4]
+
+    def _compact(self) -> None:
+        """Prune every dead branch, restoring full path compression."""
+        root = self._root
+        child = root[2]
+        if child is not None:
+            root[2] = _compress(child)
+        child = root[3]
+        if child is not None:
+            root[3] = _compress(child)
+        self._dead = 0
 
     @property
     def node_count(self) -> int:
-        """Number of live trie nodes, root excluded (memory diagnostics)."""
+        """Number of live trie nodes, root excluded (memory diagnostics).
+
+        Compacts first, so the count reflects the fully-pruned trie the
+        lazy-delete scheme converges to.
+        """
+        self._compact()
         total = 0
         stack = [self._root]
         while stack:

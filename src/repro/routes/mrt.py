@@ -31,6 +31,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 from repro.bgp.attributes import AsPath, Origin, PathAttributes
 from repro.bgp.messages import UpdateMessage
 from repro.net.addresses import IPv4Address, IPv4Prefix
+from repro.routes.prefixcodec import MASKS
 from repro.routes.ris_feed import FeedRoute, RouteFeed
 
 # MRT record types (RFC 6396 §4).
@@ -106,11 +107,36 @@ class MrtRibRoute:
 # Record-level reading
 # ----------------------------------------------------------------------
 def read_records(source: Union[str, bytes]) -> Iterator[MrtRecord]:
-    """Iterate the MRT records of a file path or an in-memory buffer."""
-    data = source
+    """Iterate the MRT records of a file path or an in-memory buffer.
+
+    File paths are read *streaming* — one record at a time off a buffered
+    handle, never the whole dump — so a full-DFZ TABLE_DUMP_V2 (hundreds
+    of MB) can be ingested with constant memory.  In-memory buffers walk
+    the bytes directly.
+    """
     if isinstance(source, str):
-        with open(source, "rb") as handle:
-            data = handle.read()
+        return _read_records_streaming(source)
+    return _read_records_buffer(source)
+
+
+def _read_records_streaming(path: str) -> Iterator[MrtRecord]:
+    with open(path, "rb") as handle:
+        offset = 0
+        while True:
+            header = handle.read(12)
+            if not header:
+                return
+            if len(header) < 12:
+                raise MrtError(f"truncated MRT header at byte {offset}")
+            timestamp, rtype, subtype, length = struct.unpack(">IHHI", header)
+            payload = handle.read(length)
+            if len(payload) < length:
+                raise MrtError(f"truncated MRT record at byte {offset + 12}")
+            yield MrtRecord(timestamp, rtype, subtype, payload)
+            offset += 12 + length
+
+
+def _read_records_buffer(data: bytes) -> Iterator[MrtRecord]:
     offset = 0
     total = len(data)
     while offset < total:
@@ -154,6 +180,66 @@ def load_rib(source: Union[str, bytes], peer_index: Optional[int] = None) -> Rou
             )
         )
     return RouteFeed(routes=routes, seed=0)
+
+
+def load_peer_table(source: Union[str, bytes]) -> List[MrtPeer]:
+    """The dump's PEER_INDEX_TABLE (stops reading once found)."""
+    for record in read_records(source):
+        if record.type == TABLE_DUMP_V2 and record.subtype == PEER_INDEX_TABLE:
+            return _parse_peer_index(record.payload)
+    raise MrtError("no PEER_INDEX_TABLE in dump")
+
+
+def iter_rib_codes(
+    source: Union[str, bytes],
+) -> Iterator[Tuple[int, Tuple[int, ...]]]:
+    """Stream a TABLE_DUMP_V2 dump as ``(prefix code, peer indices)``.
+
+    The full-DFZ ingest path: each ``RIB_IPV4_UNICAST`` record yields its
+    prefix as an integer code (:mod:`repro.routes.prefixcodec`) plus the
+    table positions of the IPv4 peers holding a path — path attributes
+    are *skipped wholesale*, and neither a prefix object, a path list,
+    nor the table itself is ever materialised.  Feed the stream straight
+    into a :class:`~repro.bgp.rib.CompactPeerRib` (``announce``) or a
+    shard planner; memory stays flat in table size.
+    """
+    peers: List[MrtPeer] = []
+    ipv4_peer = []
+    for record in read_records(source):
+        if record.type != TABLE_DUMP_V2:
+            continue
+        if record.subtype == PEER_INDEX_TABLE:
+            peers = _parse_peer_index(record.payload)
+            ipv4_peer = [not peer.is_ipv6 for peer in peers]
+        elif record.subtype == RIB_IPV4_UNICAST:
+            if not peers:
+                raise MrtError("RIB record before PEER_INDEX_TABLE")
+            payload = record.payload
+            offset = 4  # sequence number
+            plen = payload[offset]
+            if plen > 32:
+                raise MrtError(f"IPv4 prefix length {plen} out of range")
+            offset += 1
+            byte_count = (plen + 7) // 8
+            network = int.from_bytes(payload[offset : offset + byte_count], "big")
+            network <<= 8 * (4 - byte_count)
+            # Mask host bits exactly like the IPv4Prefix constructor, so
+            # codes equal encode_prefix() of the object-path prefixes.
+            network &= MASKS[plen]
+            offset += byte_count
+            (entry_count,) = struct.unpack_from(">H", payload, offset)
+            offset += 2
+            indices = []
+            for _ in range(entry_count):
+                peer_idx, _originated, attr_length = struct.unpack_from(
+                    ">HIH", payload, offset
+                )
+                offset += 8 + attr_length  # attributes skipped, not decoded
+                if peer_idx >= len(peers):
+                    raise MrtError(f"peer index {peer_idx} outside the peer table")
+                if ipv4_peer[peer_idx]:
+                    indices.append(peer_idx)
+            yield (network << 6) | plen, tuple(indices)
 
 
 def iter_rib_routes(source: Union[str, bytes]) -> Iterator[List[MrtRibRoute]]:

@@ -52,8 +52,16 @@ class PrefixGenerator:
                 return length
         return self._lengths[-1]
 
-    def generate(self, count: int) -> List[IPv4Prefix]:
-        """Generate ``count`` distinct, non-overlapping prefixes."""
+    def stream_codes(self, count: int) -> Iterator[int]:
+        """Stream ``count`` prefixes as integer codes (the scale core).
+
+        One seed draw per index, so :meth:`generate` — which merely
+        decodes this stream — yields bit-identical prefixes; shard
+        workers regenerate any slice of the table from (seed, index
+        range) without the parent ever materialising prefix objects.
+        Generated blocks are /22-aligned and lengths are clamped to
+        >= /22, so ``(block << 6) | length`` needs no host-bit masking.
+        """
         if count < 0:
             raise ValueError(f"count must be non-negative, got {count}")
         max_blocks = (_CEILING - _BASE) >> _BLOCK_BITS
@@ -61,17 +69,24 @@ class PrefixGenerator:
             raise AddressError(
                 f"cannot generate {count} prefixes; only {max_blocks} disjoint blocks available"
             )
-        prefixes = []
+        min_length = 32 - _BLOCK_BITS
         for index in range(count):
             block_start = _BASE + (index << _BLOCK_BITS)
             length = self._pick_length()
             # Lengths shorter than /22 would escape the block; clamp them so
             # prefixes stay disjoint (the mix still skews towards /24).
-            length = max(length, 32 - _BLOCK_BITS)
-            prefixes.append(IPv4Prefix(IPv4Address(block_start), length))
-        return prefixes
+            if length < min_length:
+                length = min_length
+            yield (block_start << 6) | length
+
+    def generate(self, count: int) -> List[IPv4Prefix]:
+        """Generate ``count`` distinct, non-overlapping prefixes."""
+        return [
+            IPv4Prefix(IPv4Address(code >> 6), code & 0x3F)
+            for code in self.stream_codes(count)
+        ]
 
     def stream(self, count: int) -> Iterator[IPv4Prefix]:
-        """Generator variant of :meth:`generate`."""
-        for prefix in self.generate(count):
-            yield prefix
+        """Generator variant of :meth:`generate` (lazy, constant memory)."""
+        for code in self.stream_codes(count):
+            yield IPv4Prefix(IPv4Address(code >> 6), code & 0x3F)

@@ -36,7 +36,7 @@ so campaign sweeps stay byte-identical and A/B-comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bgp.rib import RibChange
 from repro.core.backup_groups import GroupKey, ProvisioningAction
@@ -116,6 +116,12 @@ class RemoteRepointEngine:
         """Whether a flush is currently armed."""
         return self._flush_handle is not None
 
+    def absorb_deferred(self) -> None:
+        """Arm a flush for deferrals fed straight into the planner (the
+        bulk ``defer_code`` stream of the scale path, which bypasses
+        :meth:`process_change`); no-op when nothing is dirty."""
+        self._arm_flush()
+
     def shutdown(self) -> None:
         """Stop the engine (controller crash): cancel any armed flush and
         ignore everything from here on — a dead replica must not keep
@@ -164,7 +170,7 @@ class RemoteRepointEngine:
                     # Rule already points the right way (e.g. a BFD
                     # redirect beat the drain): just refresh the key.
                     self._planner.commit_repoint(group, target, new_key)
-                    covered += len(group.prefixes)
+                    covered += group.prefix_count
             else:
                 fallback += self._fall_back(group, actions)
         flow_mods = 0
@@ -178,7 +184,7 @@ class RemoteRepointEngine:
                     # planner's active-next-hop index never diverges from
                     # the programmed rule.
                     self._planner.commit_repoint(group, target, new_key)
-                    covered += len(group.prefixes)
+                    covered += group.prefix_count
                 else:
                     fallback += self._fall_back(group, actions)
         if actions:
@@ -220,8 +226,8 @@ class RemoteRepointEngine:
         """Send the group's pending members down the per-prefix path."""
         pending = sorted(group.pending.items())
         group.pending.clear()
-        for prefix, hops in pending:
-            actions.extend(self._planner.reassign(prefix, hops))
+        for member, hops in pending:
+            actions.extend(self._planner.reassign(member, hops))
         return len(pending)
 
     def _decide(
@@ -230,16 +236,29 @@ class RemoteRepointEngine:
         """``(target, refreshed key)`` when the whole group shares one live
         fate; ``None`` sends the pending members to the per-prefix path."""
         pending = group.pending
-        if len(pending) != len(group.prefixes):
+        if len(pending) != group.prefix_count:
             return None  # partial drain: the survivors must keep their rule
         target: Optional[IPv4Address] = None
+        # At DFZ scale a group drains hundreds of thousands of members but
+        # their rankings collapse to a handful of distinct tuples — and
+        # :class:`~repro.bgp.rib.CompactPeerRib` interns them, so the
+        # liveness probe is memoised by tuple identity (an int hash, no
+        # element hashing).  Non-interned callers merely recompute; the
+        # tuples stay alive in ``pending`` for the dict's lifetime, so
+        # ids cannot be recycled mid-decision, and liveness cannot change
+        # here (no simulated time passes).
+        live_cache: Dict[int, Optional[IPv4Address]] = {}
+        missing = object()
         for hops in pending.values():
             # No live hop: no single rule can carry the group safely, so
             # the members take the per-prefix path.  That path follows
             # BGP's view (it may announce a BFD-dead next hop) — exactly
             # the base manager's behaviour, which is also what rescues a
             # BFD false positive where the "dead" peer still forwards.
-            hop_target = next((h for h in hops if self._peer_alive(h)), None)
+            hop_target = live_cache.get(id(hops), missing)
+            if hop_target is missing:
+                hop_target = next((h for h in hops if self._peer_alive(h)), None)
+                live_cache[id(hops)] = hop_target
             if hop_target is None:
                 return None
             if target is None:

@@ -28,6 +28,11 @@ The contract (see ``docs/observability.md``):
   the recorded output is byte-identical across serial/pooled/rerun;
 * **byte-stable serialisation** — sorted keys, fixed histogram edges,
   rounded floats.
+
+One deliberate exception: the process-level scale gauges of
+:mod:`repro.telemetry.process` (``process.peak_rss_mb``) are wall-clock
+quantities sampled on explicit request only; no byte-stable export ever
+reads them.
 """
 
 from __future__ import annotations
@@ -35,6 +40,7 @@ from __future__ import annotations
 from typing import Any, Callable, IO, Optional, Sequence
 
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.telemetry.process import peak_rss_mb, sample_scale_gauges
 from repro.telemetry.timeline import (
     STAGE_DECIDE,
     STAGE_DETECT,
@@ -61,6 +67,8 @@ __all__ = [
     "Telemetry",
     "TraceBus",
     "TraceEvent",
+    "peak_rss_mb",
+    "sample_scale_gauges",
     "timeline_recorder",
 ]
 

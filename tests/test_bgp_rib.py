@@ -123,3 +123,108 @@ class TestLocRib:
         change = rib.withdraw(PREFIX, IPv4Address("10.0.0.99"))
         assert not change.best_changed
         assert len(rib.ranking(PREFIX)) == 1
+
+
+class TestCompactPeerRib:
+    """The int-coded multi-peer RIB of the full-DFZ scale path."""
+
+    def _rib(self):
+        from repro.bgp.rib import CompactPeerRib
+
+        rib = CompactPeerRib()
+        self.p1 = IPv4Address("10.0.0.1")
+        self.p2 = IPv4Address("10.0.0.2")
+        self.p3 = IPv4Address("10.0.0.3")
+        for peer in (self.p1, self.p2, self.p3):
+            rib.add_peer(peer)
+        return rib
+
+    def test_registration_order_is_preference_order(self):
+        rib = self._rib()
+        rib.announce(7, 2)
+        rib.announce(7, 0)
+        # Ranking follows registration (best-first), not announce order.
+        assert rib.ranking_of(7) == (self.p1, self.p3)
+
+    def test_announce_and_withdraw_are_change_shaped(self):
+        rib = self._rib()
+        assert rib.announce(7, 0) == ((), (self.p1,))
+        assert rib.announce(7, 1) == ((self.p1,), (self.p1, self.p2))
+        assert rib.withdraw(7, 0) == ((self.p1, self.p2), (self.p2,))
+        assert rib.withdraw(7, 1) == ((self.p2,), ())
+        assert rib.prefix_count == 0
+
+    def test_duplicate_announce_and_unknown_withdraw_are_noops(self):
+        rib = self._rib()
+        rib.announce(7, 0)
+        assert rib.announce(7, 0) == ((self.p1,), (self.p1,))
+        assert rib.withdraw(9, 1) == ((), ())
+        assert rib.route_count == 1
+
+    def test_rankings_are_interned(self):
+        rib = self._rib()
+        rib.announce(7, 0)
+        rib.announce(9, 0)
+        assert rib.ranking_of(7) is rib.ranking_of(9)
+
+    def test_load_matches_announce(self):
+        rib = self._rib()
+        other = self._rib()
+        for code in (3, 5, 9):
+            rib.announce(code, 0)
+            rib.announce(code, 2)
+            other.load(code, 0)
+            other.load(code, 2)
+        assert [rib.ranking_of(c) for c in (3, 5, 9)] == [
+            other.ranking_of(c) for c in (3, 5, 9)
+        ]
+        assert rib.route_count == other.route_count == 6
+        assert rib.prefix_count == other.prefix_count == 3
+
+    def test_iter_withdraw_peer_drains_in_sorted_order(self):
+        rib = self._rib()
+        for code in (9, 3, 5):
+            rib.load(code, 0)
+            rib.load(code, 1)
+        rib.load(11, 1)  # not announced by peer 0: must survive
+        drained = list(rib.iter_withdraw_peer(0))
+        assert drained == [(3, (self.p2,)), (5, (self.p2,)), (9, (self.p2,))]
+        assert rib.prefix_count == 4  # 3,5,9 via p2 plus 11
+        assert rib.route_count == 4
+        assert list(rib.codes_of_peer(0)) == []
+        assert list(rib.codes_of_peer(1)) == [3, 5, 9, 11]
+
+    def test_withdraw_last_peer_empties_prefix(self):
+        rib = self._rib()
+        rib.load(7, 1)
+        assert list(rib.iter_withdraw_peer(1)) == [(7, ())]
+        assert len(rib) == 0
+
+    def test_agrees_with_loc_rib_rankings(self):
+        """Cross-check against the object path on a mixed announce and
+        withdraw script: next-hop rankings must match LocRib's."""
+        from repro.bgp.rib import CompactPeerRib
+        from repro.routes.prefixcodec import encode_prefix
+
+        peers = [IPv4Address(f"10.0.0.{i}") for i in (1, 2, 3)]
+        prefs = {peers[0]: 300, peers[1]: 200, peers[2]: 100}
+        loc_rib = LocRib(rank_routes)
+        compact = CompactPeerRib()
+        for peer in peers:
+            compact.add_peer(peer)
+        prefixes = [IPv4Prefix(f"203.0.{i}.0/24") for i in range(8)]
+        script = [
+            (peer, prefix)
+            for index, prefix in enumerate(prefixes)
+            for peer in peers[: 1 + index % 3]
+        ]
+        for peer, prefix in script:
+            loc_rib.update(_route(peer, prefs[peer], prefix=prefix))
+            compact.announce(encode_prefix(prefix), peers.index(peer))
+        loc_rib.withdraw(prefixes[5], peers[0])
+        compact.withdraw(encode_prefix(prefixes[5]), 0)
+        for prefix in prefixes:
+            expected = tuple(
+                route.next_hop for route in loc_rib.ranking(prefix)
+            )
+            assert compact.ranking_of(encode_prefix(prefix)) == expected

@@ -242,3 +242,67 @@ class TestWireEdgeCases:
         )
         with pytest.raises(MrtError):
             list(iter_rib_routes(blob))
+
+
+class TestStreamingParity:
+    """The streaming file path and the in-memory buffer path must agree
+    byte for byte, and the int-code fast path must agree with the
+    materialised object path, on the committed fixtures."""
+
+    def test_read_records_path_equals_buffer(self):
+        for fixture in (RIB_FIXTURE, UPDATES_FIXTURE):
+            from_path = list(read_records(fixture))
+            from_bytes = list(read_records(open(fixture, "rb").read()))
+            assert from_path == from_bytes
+
+    def test_load_peer_table_path_equals_buffer(self):
+        from repro.routes.mrt import load_peer_table
+
+        assert load_peer_table(RIB_FIXTURE) == load_peer_table(
+            open(RIB_FIXTURE, "rb").read()
+        )
+
+    def test_iter_rib_codes_matches_object_path(self):
+        """Streaming int codes == encode_prefix() over iter_rib_routes,
+        with the same IPv4 peer positions per prefix."""
+        from repro.routes.mrt import iter_rib_codes, load_peer_table
+        from repro.routes.prefixcodec import encode_prefix
+
+        peers = load_peer_table(RIB_FIXTURE)
+        expected = []
+        for rib in iter_rib_routes(RIB_FIXTURE):
+            code = encode_prefix(rib[0].prefix)
+            indices = tuple(
+                entry.peer_index
+                for entry in rib
+                if not peers[entry.peer_index].is_ipv6
+            )
+            expected.append((code, indices))
+        streamed = list(iter_rib_codes(RIB_FIXTURE))
+        assert streamed == expected
+        assert streamed  # the fixture is not empty
+        # And the buffer flavour of the streaming path agrees too.
+        assert list(iter_rib_codes(open(RIB_FIXTURE, "rb").read())) == expected
+
+    def test_iter_rib_codes_masks_host_bits_like_object_path(self):
+        """A wire prefix with stray host bits must decode to the same
+        code on both paths (the object path masks in the constructor)."""
+        from repro.routes import mrt
+        from repro.routes.prefixcodec import encode_prefix
+
+        table = mrt._encode_peer_index([PEER])
+        # /12 on the wire carried in two bytes, with stray bits set below
+        # bit 12 in the second byte (0xFF): 10.255.0.0 raw → 10.240.0.0/12.
+        attrs = mrt._encode_attributes(
+            PathAttributes(next_hop=PEER.ip, as_path=AsPath((65001,))), as_size=4
+        )
+        rib = struct.pack(">I", 0) + bytes([12, 10, 0xFF])
+        rib += struct.pack(">H", 1)
+        rib += struct.pack(">HIH", 0, 0, len(attrs)) + attrs
+        blob = mrt._record(0, mrt.TABLE_DUMP_V2, mrt.PEER_INDEX_TABLE, table)
+        blob += mrt._record(0, mrt.TABLE_DUMP_V2, mrt.RIB_IPV4_UNICAST, rib)
+        ((code, indices),) = list(mrt.iter_rib_codes(blob))
+        assert code == encode_prefix(IPv4Prefix("10.240.0.0/12"))
+        (rib_entry,) = next(iter(mrt.iter_rib_routes(blob)))
+        assert code == encode_prefix(rib_entry.prefix)
+        assert indices == (0,)

@@ -1,0 +1,94 @@
+"""Tests for the integer prefix codec (the full-DFZ scale hot path)."""
+
+import pytest
+
+from repro.net.addresses import AddressError, IPv4Address, IPv4Prefix
+from repro.routes.prefixcodec import (
+    LENGTH_BITS,
+    MAX_CODE,
+    code_str,
+    contains_address,
+    decode,
+    decode_many,
+    decode_prefix,
+    encode,
+    encode_many,
+    encode_prefix,
+    from_str,
+    length_of,
+    network_of,
+)
+from repro.routes.prefix_gen import PrefixGenerator
+
+
+class TestRoundTrip:
+    def test_object_round_trip(self):
+        prefix = IPv4Prefix("203.0.113.0/24")
+        assert decode_prefix(encode_prefix(prefix)) == prefix
+
+    def test_edge_lengths(self):
+        for text in ("0.0.0.0/0", "255.255.255.255/32", "128.0.0.0/1"):
+            prefix = IPv4Prefix(text)
+            code = encode_prefix(prefix)
+            assert decode_prefix(code) == prefix
+            assert length_of(code) == prefix.length
+            assert network_of(code) == prefix.network.value
+
+    def test_host_bits_masked_like_prefix_constructor(self):
+        # IPv4Prefix("10.1.2.3/16") masks to 10.1.0.0/16; encode() of the
+        # raw address value must agree, or codes would disagree with the
+        # object path on malformed input.
+        raw = IPv4Address("10.1.2.3").value
+        assert decode(encode(raw, 16)) == (IPv4Address("10.1.0.0").value, 16)
+        assert decode_prefix(encode(raw, 16)) == IPv4Prefix("10.1.2.3/16")
+
+    def test_generated_table_round_trips(self):
+        prefixes = PrefixGenerator(3).generate(500)
+        codes = encode_many(prefixes)
+        assert list(decode_many(codes)) == prefixes
+
+    def test_bounds(self):
+        assert encode(0, 0) == 0
+        top = encode((1 << 32) - 1, 32)
+        assert top == MAX_CODE
+        with pytest.raises((ValueError, AddressError)):
+            encode(0, 33)
+
+
+class TestOrdering:
+    def test_codes_sort_exactly_like_prefix_objects(self):
+        """The determinism keystone: sorted(codes) must visit prefixes in
+        the same order as sorted(prefixes), for every mix of lengths."""
+        prefixes = [
+            IPv4Prefix("10.0.0.0/8"),
+            IPv4Prefix("10.0.0.0/16"),
+            IPv4Prefix("10.0.0.0/24"),
+            IPv4Prefix("10.0.1.0/24"),
+            IPv4Prefix("9.255.255.0/24"),
+            IPv4Prefix("0.0.0.0/0"),
+            IPv4Prefix("255.255.255.255/32"),
+        ] + PrefixGenerator(11).generate(200)
+        by_object = sorted(prefixes)
+        by_code = list(decode_many(sorted(encode_prefix(p) for p in prefixes)))
+        assert by_code == by_object
+
+    def test_min_agrees_with_object_min(self):
+        prefixes = PrefixGenerator(5).generate(50)
+        assert decode_prefix(min(encode_many(prefixes))) == min(prefixes)
+
+
+class TestHelpers:
+    def test_code_str_and_from_str(self):
+        code = from_str("198.51.100.0/24")
+        assert code_str(code) == "198.51.100.0/24"
+        assert decode_prefix(code) == IPv4Prefix("198.51.100.0/24")
+
+    def test_contains_address(self):
+        code = from_str("192.0.2.0/24")
+        assert contains_address(code, IPv4Address("192.0.2.17").value)
+        assert not contains_address(code, IPv4Address("192.0.3.17").value)
+        assert contains_address(from_str("0.0.0.0/0"), 0xFFFFFFFF)
+
+    def test_length_bits_leave_room_for_any_network(self):
+        assert LENGTH_BITS >= 6  # lengths 0..32 need six bits
+        assert MAX_CODE < 1 << (32 + LENGTH_BITS)

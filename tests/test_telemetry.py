@@ -412,3 +412,56 @@ class TestScenarioTelemetry:
     def test_trace_capacity_is_validated(self):
         with pytest.raises(Exception):
             ScenarioSpec(name="bad", trace_capacity=0).validate()
+
+
+class TestScaleGauges:
+    """The process-level scale gauges of repro.telemetry.process."""
+
+    def test_peak_rss_is_positive(self):
+        from repro.telemetry.process import peak_rss_mb
+
+        assert peak_rss_mb() > 0
+
+    def test_sample_scale_gauges_sets_all_three(self):
+        from repro.sim.engine import Simulator
+        from repro.telemetry import Telemetry
+        from repro.telemetry.process import sample_scale_gauges
+
+        sim = Simulator()
+        telemetry = Telemetry(clock=lambda: sim.now)
+        sample_scale_gauges(telemetry, rib_prefixes=42, shard_count=4)
+        assert telemetry.metrics.get("rib.prefixes").value == 42
+        assert telemetry.metrics.get("planner.shard_count").value == 4
+        assert telemetry.metrics.get("process.peak_rss_mb").value > 0
+        # Partial samples leave the other gauges untouched.
+        sample_scale_gauges(telemetry, shard_count=8)
+        assert telemetry.metrics.get("rib.prefixes").value == 42
+        assert telemetry.metrics.get("planner.shard_count").value == 8
+        # A disabled component (telemetry=None) is a no-op, not an error.
+        sample_scale_gauges(None, rib_prefixes=1)
+
+    def test_controller_occupancy_sample_includes_scale_gauges(self):
+        from repro.scenarios.campaign import execute_scenario
+
+        _record, lab = execute_scenario(_small_spec())
+        assert lab.telemetry.metrics.get("rib.prefixes").value >= 1
+        assert lab.telemetry.metrics.get("planner.shard_count").value == 1
+        assert lab.telemetry.metrics.get("process.peak_rss_mb").value > 0
+
+    def test_sharded_build_reports_shard_count(self):
+        from repro.sim.engine import Simulator
+        from repro.supercharge.sharding import run_sharded_build
+        from repro.telemetry import Telemetry
+
+        sim = Simulator()
+        telemetry = Telemetry(clock=lambda: sim.now)
+        run_sharded_build(
+            peers=("9.0.0.1", "9.0.1.1", "9.0.1.2"),
+            prefix_count=200,
+            seed=3,
+            num_shards=2,
+            workers=1,
+            telemetry=telemetry,
+        )
+        assert telemetry.metrics.get("rib.prefixes").value == 200
+        assert telemetry.metrics.get("planner.shard_count").value == 2
