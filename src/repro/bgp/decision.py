@@ -105,8 +105,11 @@ class DecisionProcess:
         for neighbor_routes in by_neighbor.values():
             ordered = sorted(neighbor_routes, key=lambda r: r.attributes.med)
             for rank, route in enumerate(ordered):
-                med_rank[id(route)] = rank
-        return sorted(routes, key=lambda r: self._key(r, med_rank.get(id(r), 0)))
+                # In-process memo: lives only for the duration of this call
+                # and keys objects already in hand; nothing derived from the
+                # id() values is returned or exported.
+                med_rank[id(route)] = rank  # detlint: disable=DET004
+        return sorted(routes, key=lambda r: self._key(r, med_rank.get(id(r), 0)))  # detlint: disable=DET004
 
     def best(self, routes: Sequence[Route]) -> Optional[Route]:
         """The single best route under this configuration."""

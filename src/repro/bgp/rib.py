@@ -22,7 +22,7 @@ would dominate RSS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.attributes import PathAttributes
 from repro.net.addresses import IPv4Address, IPv4Prefix
@@ -159,7 +159,7 @@ class AdjRibOut:
 class LocRib:
     """All known routes per prefix, kept ranked by the decision process."""
 
-    def __init__(self, ranker) -> None:
+    def __init__(self, ranker: Callable[[Sequence[Route]], List[Route]]) -> None:
         """``ranker`` is a callable ``(routes) -> ordered list`` — usually
         :meth:`repro.bgp.decision.DecisionProcess.rank`."""
         self._ranker = ranker
@@ -367,7 +367,9 @@ class CompactPeerRib:
     @property
     def route_count(self) -> int:
         """Total (prefix, peer) entries."""
-        return sum(mask.bit_count() for mask in self._masks.values())
+        # bin().count over int.bit_count(): the latter is Python 3.10+
+        # and this repo supports 3.9.
+        return sum(bin(mask).count("1") for mask in self._masks.values())
 
     @property
     def prefix_count(self) -> int:

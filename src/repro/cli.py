@@ -30,6 +30,13 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
+from repro.analysis import (
+    ALL_RULES,
+    Baseline,
+    LintConfig,
+    RULES_BY_CODE,
+    lint_paths,
+)
 from repro.experiments.ablations import compare_fib_designs
 from repro.experiments.backup_group_analysis import backup_group_counts
 from repro.experiments.controller_bench import ControllerMicrobench
@@ -368,6 +375,38 @@ def _cmd_trace(arguments: argparse.Namespace) -> int:
     return 0 if record["converged"] and record["recovered"] else 1
 
 
+def _cmd_lint(arguments: argparse.Namespace) -> int:
+    """Run the determinism linter (see docs/static_analysis.md).
+
+    Exit status gates CI: 0 only when every finding is baselined (or
+    none exist); ``--write-baseline`` regenerates the grandfather list
+    instead of gating.
+    """
+    if arguments.list_rules:
+        for code in ALL_RULES:
+            print(f"{code}  {RULES_BY_CODE[code].SUMMARY}")
+        return 0
+    config = LintConfig.default()
+    if arguments.rules:
+        config = config.select(arguments.rules)
+    baseline = None
+    if not arguments.no_baseline:
+        baseline = Baseline.load(arguments.baseline)
+    report = lint_paths(arguments.paths, config=config, baseline=baseline)
+    if arguments.write_baseline:
+        Baseline.from_findings(report.all_findings).save(arguments.baseline)
+        print(
+            f"baseline written to {arguments.baseline}:"
+            f" {len(report.all_findings)} finding(s) grandfathered"
+        )
+        return 0
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.clean else 1
+
+
 def _add_seed_option(parser: argparse.ArgumentParser) -> None:
     # SUPPRESS keeps the top-level --seed value when the sub-command omits
     # it, while still accepting `repro <command> --seed N`.
@@ -479,6 +518,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="emit the trace as JSON")
     _add_seed_option(trace)
     trace.set_defaults(handler=_cmd_trace)
+
+    lint = commands.add_parser(
+        "lint",
+        help="determinism linter: AST sim-purity analysis (DET001-DET006)",
+    )
+    lint.add_argument("paths", nargs="*", default=["src/repro"],
+                      help="files/directories to lint (default: src/repro)")
+    lint.add_argument("--rules", nargs="*", default=None, metavar="DET00N",
+                      help="run only these rules")
+    lint.add_argument("--baseline", default="detlint_baseline.json",
+                      help="grandfathered-findings file (default:"
+                           " detlint_baseline.json)")
+    lint.add_argument("--no-baseline", action="store_true",
+                      help="report every finding, ignoring the baseline")
+    lint.add_argument("--write-baseline", action="store_true",
+                      help="record the current findings as the new baseline")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="print the rule catalog and exit")
+    lint.add_argument("--json", action="store_true",
+                      help="emit the report as JSON")
+    lint.set_defaults(handler=_cmd_lint)
 
     scenarios = commands.add_parser("scenarios", help="declarative scenario engine")
     scenario_commands = scenarios.add_subparsers(dest="scenario_command", required=True)

@@ -502,9 +502,12 @@ class SuperchargedController:
 
     @staticmethod
     def _sim_perf_counter() -> float:
+        # Real CPU time for the §4 controller microbench only: read when
+        # measure_processing_time is opted in, and never written into a
+        # campaign record or byte-stable export.
         import time
 
-        return time.perf_counter()
+        return time.perf_counter()  # detlint: disable=DET002
 
     def __repr__(self) -> str:
         return f"SuperchargedController({self.name}, groups={self.group_count()})"

@@ -16,11 +16,11 @@ preserves the paper's shape; EXPERIMENTS.md records both.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.stats import BoxStats, format_table
+from repro.runconfig import env_flag
 from repro.router.fib_updater import FibUpdaterConfig
 from repro.sim.engine import Simulator
 from repro.topology.lab import ConvergenceLab, FailoverResult, LabConfig
@@ -51,8 +51,13 @@ PAPER_SUPERCHARGED_MAX_S = 0.150
 
 
 def active_prefix_counts() -> Sequence[int]:
-    """The sweep's x-axis, honouring the ``REPRO_FULL_SCALE`` opt-in."""
-    if os.environ.get("REPRO_FULL_SCALE", "").strip() in ("1", "true", "yes"):
+    """The sweep's x-axis, honouring the ``REPRO_FULL_SCALE`` opt-in.
+
+    The environment read goes through :mod:`repro.runconfig` — the one
+    module the determinism linter (DET005) sanctions for host knobs —
+    and happens at sweep-setup time, never inside a simulation.
+    """
+    if env_flag("REPRO_FULL_SCALE"):
         return FULL_SCALE_PREFIX_COUNTS
     return DEFAULT_PREFIX_COUNTS
 

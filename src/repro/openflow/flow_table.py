@@ -1,3 +1,7 @@
+# detlint: disable-file=DET004 -- the _stats/_seq bookkeeping is keyed by
+# id(entry) on purpose: FlowEntry is frozen and reused, the maps live and die
+# with this in-process table, and nothing keyed by id() ever reaches a
+# serialized structure (exports go through sorted match fields, never ids).
 """Flow table: matches, actions, entries, priority lookup.
 
 The match fields are the ones the supercharged controller needs

@@ -200,8 +200,13 @@ class Router:
         self._blackholes.discard(prefix)
 
     def blackholed_prefixes(self) -> List[IPv4Prefix]:
-        """All currently blackholed prefixes."""
-        return list(self._blackholes)
+        """All currently blackholed prefixes, in prefix order.
+
+        Sorted because ``self._blackholes`` is a set: callers compare
+        this list across runs (tests, potential exports), so its order
+        must not depend on hash seeds or insertion history.
+        """
+        return sorted(self._blackholes)
 
     def is_blackholed(self, destination: IPv4Address) -> bool:
         """Whether traffic to ``destination`` is currently blackholed."""

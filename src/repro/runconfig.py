@@ -1,0 +1,37 @@
+"""Sanctioned host-environment configuration access.
+
+A scenario's behaviour must be a function of its spec and seed alone —
+that is the determinism contract the linter's DET005 rule enforces by
+banning ``os.environ`` reads everywhere else in ``src/repro``.  The few
+legitimate environment knobs (opt-in full-scale sweeps, CI smoke modes)
+are read *here*, at experiment-setup time, and surfaced to callers as
+explicit values; nothing in a running simulation may consult them.
+
+Keeping every read in one module makes the environment surface
+greppable and reviewable: a new knob is a new accessor call here, not a
+stray ``os.environ.get`` somewhere in a sim path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+__all__ = ["env_flag", "env_text"]
+
+#: Spellings accepted as "on" (case-insensitive).
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """Boolean opt-in knob: ``1``/``true``/``yes``/``on`` enable it."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in _TRUTHY
+
+
+def env_text(name: str, default: Optional[str] = None) -> Optional[str]:
+    """Free-text knob (e.g. a report output path)."""
+    raw = os.environ.get(name)
+    return default if raw is None else raw

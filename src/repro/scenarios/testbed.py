@@ -1189,16 +1189,19 @@ class ScenarioLab:
             self._destination_prefix[destination] = prefix
 
     def _port_registry(self) -> Dict[int, object]:
+        # id()-keyed on purpose: the registry maps live Port objects to
+        # their owning device for the in-process path tracer and is
+        # rebuilt per trace; nothing derived from the ids is recorded.
         registry: Dict[int, object] = {}
         for router in [*self.edge_routers, *self.providers]:
             for interface in router.interfaces.values():
-                registry[id(interface.port)] = router
+                registry[id(interface.port)] = router  # detlint: disable=DET004
         for port in self.switch.ports().values():
-            registry[id(port)] = self.switch
+            registry[id(port)] = self.switch  # detlint: disable=DET004
         for interface in self.sink.interfaces.values():
-            registry[id(interface.port)] = self.sink
+            registry[id(interface.port)] = self.sink  # detlint: disable=DET004
         for controller in self.controllers:
-            registry[id(controller.port)] = controller
+            registry[id(controller.port)] = controller  # detlint: disable=DET004
         return registry
 
     def _failure_detector_session(self):

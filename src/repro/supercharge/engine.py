@@ -255,10 +255,13 @@ class RemoteRepointEngine:
             # BGP's view (it may announce a BFD-dead next hop) — exactly
             # the base manager's behaviour, which is also what rescues a
             # BFD false positive where the "dead" peer still forwards.
-            hop_target = live_cache.get(id(hops), missing)
+            # detlint: disable=DET004 (next two sites) -- memo over interned
+            # ranking tuples, scoped to this single flush decision; the
+            # comment block above documents why ids cannot be recycled.
+            hop_target = live_cache.get(id(hops), missing)  # detlint: disable=DET004
             if hop_target is missing:
                 hop_target = next((h for h in hops if self._peer_alive(h)), None)
-                live_cache[id(hops)] = hop_target
+                live_cache[id(hops)] = hop_target  # detlint: disable=DET004
             if hop_target is None:
                 return None
             if target is None:

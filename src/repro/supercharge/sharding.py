@@ -38,16 +38,17 @@ from __future__ import annotations
 import multiprocessing
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.bgp.rib import CompactPeerRib
-from repro.core.backup_groups import GroupKey
+from repro.core.backup_groups import GroupKey, ProvisioningAction
 from repro.core.vnh_allocator import DEFAULT_VMAC_BASE, VnhAllocator
 from repro.net.addresses import IPv4Address, IPv4Prefix
 from repro.routes.prefix_gen import PrefixGenerator
 from repro.sim.engine import Simulator
 from repro.supercharge.engine import RemoteRepointEngine
-from repro.supercharge.planner import RemoteGroupPlanner
+from repro.supercharge.planner import RemoteGroup, RemoteGroupPlanner
+from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.process import peak_rss_mb, sample_scale_gauges
 
 
@@ -145,7 +146,9 @@ class _CountingProvisioner:
     def __init__(self) -> None:
         self.rules_pushed = 0
 
-    def point_groups(self, repoints) -> List[bool]:
+    def point_groups(
+        self, repoints: Sequence[Tuple[RemoteGroup, IPv4Address]]
+    ) -> List[bool]:
         self.rules_pushed += len(repoints)
         return [True] * len(repoints)
 
@@ -239,7 +242,7 @@ def build_shard(spec: ShardWorkSpec) -> ShardBuildResult:
         sim = Simulator(seed=spec.seed)
         provisioner = _CountingProvisioner()
         dead = peers[0]
-        fallback_actions: List = []
+        fallback_actions: List[ProvisioningAction] = []
         engine = RemoteRepointEngine(
             sim,
             planner,
@@ -292,7 +295,7 @@ def run_sharded_build(
     group_size: int = 2,
     vnh_pool: str = "10.200.0.0/16",
     fail_primary: bool = True,
-    telemetry=None,
+    telemetry: Optional[MetricsRegistry] = None,
 ) -> Dict[str, object]:
     """Build a full table as ``num_shards`` planner domains and merge.
 

@@ -18,7 +18,9 @@ one attribute load and an ``is not None`` test.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Type, TypeVar
+
+_Instrument = TypeVar("_Instrument")
 
 
 class Counter:
@@ -191,7 +193,12 @@ class MetricsRegistry:
             for name in sorted(self._instruments)
         }
 
-    def _get_or_create(self, name: str, kind: type, factory):
+    def _get_or_create(
+        self,
+        name: str,
+        kind: Type[_Instrument],
+        factory: Callable[[], _Instrument],
+    ) -> _Instrument:
         instrument = self._instruments.get(name)
         if instrument is None:
             instrument = factory()

@@ -25,7 +25,10 @@ from __future__ import annotations
 
 import resource
 import sys
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from repro.telemetry.metrics import MetricsRegistry
 
 __all__ = ["peak_rss_mb", "sample_scale_gauges"]
 
@@ -54,7 +57,7 @@ def peak_rss_mb() -> float:
 
 
 def sample_scale_gauges(
-    telemetry,
+    telemetry: "Optional[MetricsRegistry]",
     *,
     rib_prefixes: Optional[int] = None,
     shard_count: Optional[int] = None,

@@ -17,7 +17,9 @@ per stage.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional
+
+from repro.telemetry.trace import TraceEvent
 
 #: Canonical stage names, in pipeline order.
 STAGE_DETECT = "detect"
@@ -72,7 +74,7 @@ class StageTimeline:
 
 def timeline_recorder(
     timeline: StageTimeline, stage_by_event: Mapping[str, str]
-):
+) -> Callable[[TraceEvent], None]:
     """A trace-bus ``on_emit`` listener marking ``timeline`` stages.
 
     ``stage_by_event`` maps trace event names to stage names; events not
@@ -80,7 +82,7 @@ def timeline_recorder(
     ``bus.on_emit(timeline_recorder(timeline, mapping))``.
     """
 
-    def record(event) -> None:
+    def record(event: TraceEvent) -> None:
         stage = stage_by_event.get(event.name)
         if stage is not None:
             timeline.mark(stage, event.at)

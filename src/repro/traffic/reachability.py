@@ -74,7 +74,10 @@ class PathTracer:
                 hops.append(TraceHop(current_port.owner_name, "link down"))
                 return False, hops
             ingress = link.peer_of(current_port)
-            node = self._node_by_port.get(id(ingress))
+            # In-process lookup against the lab's id()-keyed port registry
+            # (see ScenarioTestbed._port_registry); trace output records
+            # owner names, never the ids.
+            node = self._node_by_port.get(id(ingress))  # detlint: disable=DET004
             if node is None:
                 hops.append(TraceHop(ingress.owner_name, "unknown device"))
                 return False, hops

@@ -206,6 +206,19 @@ def test_duplicate_interface_name_rejected(sim):
         router.add_interface("core", R2_CORE_MAC, R2_CORE_IP, CORE_SUBNET)
 
 
+def test_blackholed_prefixes_listed_in_prefix_order(sim):
+    """Regression (found by the DET003 determinism lint): the blackhole
+    store is a set, so the listing must sort — its order previously
+    depended on hash seeds and insertion history."""
+    router = Router(sim, "X", RouterConfig(asn=1, router_id=IPv4Address("1.1.1.1")))
+    prefixes = [IPv4Prefix(f"10.{octet}.0.0/16") for octet in (9, 1, 200, 42, 7)]
+    for prefix in prefixes:
+        router.add_blackhole(prefix)
+    assert router.blackholed_prefixes() == sorted(prefixes)
+    router.clear_blackhole(prefixes[0])
+    assert router.blackholed_prefixes() == sorted(prefixes[1:])
+
+
 def test_bfd_disabled_router_rejects_bfd_peer(sim):
     router = Router(sim, "X", RouterConfig(asn=1, router_id=IPv4Address("1.1.1.1")))
     with pytest.raises(RuntimeError):
