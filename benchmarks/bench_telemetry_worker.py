@@ -12,7 +12,10 @@ sections:
 * ``disabled`` — the live classes with telemetry detached (the default:
   every instrument guard is one attribute load + ``is not None``);
 * ``enabled``  — the live classes with a full :class:`Telemetry` context
-  attached (trace ring buffer + metrics registry).
+  attached (trace ring buffer + metrics registry);
+* ``causal``   — like ``enabled`` but with an outage context open, so the
+  ambient outage stamping and the per-prefix restoration ledger are both
+  on the hot path.
 
 The report carries the min-of-repeats time per configuration plus the
 ``disabled``/``legacy`` overhead ratio — the number the zero-cost-when-
@@ -103,19 +106,22 @@ def _run_channel(channel_cls, batches: int, mods_per_batch: int, telemetry=None)
     return elapsed, {"delivered": delivered[0], "sim_now": round(sim.now, 9)}
 
 
-def _telemetry():
+def _telemetry(causal: bool = False):
     # A throwaway clock is fine: the bench never reads recorded values,
     # it only pays their recording cost.
-    return Telemetry(clock=lambda: 0.0, trace_capacity=4096)
+    telemetry = Telemetry(clock=lambda: 0.0, trace_capacity=4096)
+    if causal:
+        telemetry.causal.open_outage(0.0, kind="bench")
+    return telemetry
 
 
 def _ab(run, repeats: int):
-    """Min-of-``repeats`` for the three configurations, interleaved so
+    """Min-of-``repeats`` for the four configurations, interleaved so
     thermal / scheduler drift hits every side equally."""
-    times = {"legacy": [], "disabled": [], "enabled": []}
+    times = {"legacy": [], "disabled": [], "enabled": [], "causal": []}
     checks = {}
     for _ in range(repeats):
-        for side in ("legacy", "disabled", "enabled"):
+        for side in ("legacy", "disabled", "enabled", "causal"):
             elapsed, check = run(side)
             times[side].append(elapsed)
             checks[side] = check
@@ -134,7 +140,9 @@ def main() -> None:
             return _run_fib(LegacyFibUpdater, entries)
         if side == "disabled":
             return _run_fib(FibUpdater, entries)
-        return _run_fib(FibUpdater, entries, telemetry=_telemetry())
+        return _run_fib(
+            FibUpdater, entries, telemetry=_telemetry(causal=side == "causal")
+        )
 
     def run_channel(side: str):
         if side == "legacy":
@@ -142,7 +150,10 @@ def main() -> None:
         if side == "disabled":
             return _run_channel(ControllerChannel, batches, mods_per_batch)
         return _run_channel(
-            ControllerChannel, batches, mods_per_batch, telemetry=_telemetry()
+            ControllerChannel,
+            batches,
+            mods_per_batch,
+            telemetry=_telemetry(causal=side == "causal"),
         )
 
     fib_times, fib_checks = _ab(run_fib, repeats)
@@ -159,12 +170,14 @@ def main() -> None:
             "seconds": fib_times,
             "disabled_over_legacy": fib_times["disabled"] / fib_times["legacy"],
             "enabled_over_legacy": fib_times["enabled"] / fib_times["legacy"],
+            "causal_over_legacy": fib_times["causal"] / fib_times["legacy"],
             "checks": fib_checks,
         },
         "channel": {
             "seconds": channel_times,
             "disabled_over_legacy": channel_times["disabled"] / channel_times["legacy"],
             "enabled_over_legacy": channel_times["enabled"] / channel_times["legacy"],
+            "causal_over_legacy": channel_times["causal"] / channel_times["legacy"],
             "checks": channel_checks,
         },
     }

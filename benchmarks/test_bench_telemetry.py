@@ -9,9 +9,11 @@ checks the zero-cost-when-disabled contract of docs/observability.md:
 * telemetry **disabled** (the default) must cost within a few percent of
   the pre-telemetry code — the guard is one attribute load and an
   ``is not None`` test per instrumented operation;
-* all three configurations must do *identical simulated work* (same
-  writes applied, same messages delivered, same final sim time) — the
-  passivity half of the contract, asserted in every mode.
+* all four configurations (including ``causal`` — telemetry attached
+  with an outage context open, so ambient stamping and the restoration
+  ledger are live) must do *identical simulated work* (same writes
+  applied, same messages delivered, same final sim time) — the passivity
+  half of the contract, asserted in every mode.
 
 Size knobs:
 
@@ -60,10 +62,17 @@ def test_telemetry_disabled_is_free(benchmark):
     )
     fib, channel = report["fib"], report["channel"]
 
-    # Passivity: every configuration performed the same simulated work.
+    # Passivity: every configuration performed the same simulated work —
+    # including "causal", where an open outage context keeps the ambient
+    # stamping and the restoration ledger on the hot path.
     for section in (fib, channel):
         checks = section["checks"]
-        assert checks["legacy"] == checks["disabled"] == checks["enabled"]
+        assert (
+            checks["legacy"]
+            == checks["disabled"]
+            == checks["enabled"]
+            == checks["causal"]
+        )
     assert fib["checks"]["legacy"]["writes"] == CONFIG["fib_entries"]
     assert (
         channel["checks"]["legacy"]["delivered"]
@@ -73,9 +82,11 @@ def test_telemetry_disabled_is_free(benchmark):
     record_report(
         "telemetry overhead (vs frozen pre-telemetry code)",
         f"fib drain:       disabled {fib['disabled_over_legacy']:.3f}x"
-        f"  enabled {fib['enabled_over_legacy']:.3f}x\n"
+        f"  enabled {fib['enabled_over_legacy']:.3f}x"
+        f"  causal {fib['causal_over_legacy']:.3f}x\n"
         f"channel deliver: disabled {channel['disabled_over_legacy']:.3f}x"
-        f"  enabled {channel['enabled_over_legacy']:.3f}x",
+        f"  enabled {channel['enabled_over_legacy']:.3f}x"
+        f"  causal {channel['causal_over_legacy']:.3f}x",
     )
     benchmark.extra_info["fib_disabled_over_legacy"] = fib["disabled_over_legacy"]
     benchmark.extra_info["channel_disabled_over_legacy"] = channel[

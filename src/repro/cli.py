@@ -10,7 +10,10 @@ Exposes the main experiments without writing any Python::
     python -m repro.cli detection --prefixes 1000 [--json]
     python -m repro.cli remote-supercharge --prefixes 200 500 1000 [--json]
     python -m repro.cli metrics --preset figure4 --failures link_down bfd_loss
+    python -m repro.cli metrics --preset figure4 --openmetrics
+    python -m repro.cli report --preset remote-withdraw --out artifacts/report
     python -m repro.cli trace --preset figure4 --event fib.batch_drain
+    python -m repro.cli trace --preset figure4 --out trace.jsonl
     python -m repro.cli scenarios list
     python -m repro.cli scenarios run --preset fan --providers 4
     python -m repro.cli scenarios sweep --providers 2 3 --failures link_down \
@@ -58,6 +61,12 @@ from repro.scenarios import (
     run_scenario,
 )
 from repro.sim.engine import Simulator
+from repro.telemetry.export import (
+    build_campaign_report,
+    render_openmetrics,
+    render_report_html,
+    report_to_json,
+)
 from repro.telemetry.process import peak_rss_mb
 from repro.topology.lab import ConvergenceLab, LabConfig
 
@@ -307,6 +316,18 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     """Paper-style stage breakdown (detect → decide → push → install) for a
     preset campaign, computed from the sim-time telemetry subsystem."""
     base = get_preset(arguments.preset, **_scenario_overrides(arguments))
+    if arguments.openmetrics:
+        # Single-scenario OpenMetrics exposition: run the preset once and
+        # render the registry in the Prometheus text format.
+        spec = base
+        if arguments.failures:
+            spec = expand_grid(base, {"failure": [arguments.failures[0]]})[0]
+        if not spec.telemetry:
+            spec = spec.with_overrides(telemetry=True).validate()
+        record, lab = execute_scenario(spec, timeout=arguments.timeout)
+        assert lab.telemetry is not None
+        print(render_openmetrics(lab.telemetry.metrics), end="")
+        return 0 if record["converged"] and record["recovered"] else 1
     grid = {}
     if arguments.failures:
         grid["failure"] = arguments.failures
@@ -341,12 +362,86 @@ def _cmd_metrics(arguments: argparse.Namespace) -> int:
     return 0 if aggregate["all_converged"] and aggregate["all_recovered"] else 1
 
 
+def _cmd_report(arguments: argparse.Namespace) -> int:
+    """Causal convergence provenance report: per-prefix restoration chains,
+    stage waterfall and restoration CDF, written as JSON + HTML artifacts."""
+    base = get_preset(arguments.preset, **_scenario_overrides(arguments))
+    if arguments.failures:
+        specs = expand_grid(base, {"failure": arguments.failures})
+    else:
+        specs = [base]
+    entries = []
+    healthy = True
+    for spec in specs:
+        if not spec.telemetry:
+            spec = spec.with_overrides(telemetry=True).validate()
+        record, lab = execute_scenario(spec, timeout=arguments.timeout)
+        healthy = healthy and record["converged"] and record["recovered"]
+        telemetry = lab.telemetry
+        assert telemetry is not None
+        outages = telemetry.causal.outages()
+        first = outages[0].outage_id if outages else None
+        entries.append(
+            {
+                "record": record,
+                "outages": telemetry.ledger.outage_summaries(),
+                "chains": telemetry.ledger.chains(),
+                "restoration_cdf": telemetry.ledger.restoration_cdf(first),
+                "profile": (
+                    lab.profiler.to_dict() if lab.profiler is not None else None
+                ),
+            }
+        )
+    report = build_campaign_report(
+        entries, title=f"Convergence provenance: {arguments.preset}"
+    )
+    if arguments.json:
+        print(report_to_json(report), end="")
+        return 0 if healthy else 1
+    json_path = f"{arguments.out}.json"
+    html_path = f"{arguments.out}.html"
+    with open(json_path, "w", encoding="utf-8") as handle:
+        handle.write(report_to_json(report))
+    with open(html_path, "w", encoding="utf-8") as handle:
+        handle.write(render_report_html(report))
+    print(
+        f"provenance report: {report['scenario_count']} scenario(s),"
+        f" {report['total_chains']} chain(s)"
+        f" ({report['total_prefix_chains']} per-prefix)"
+    )
+    for entry in entries:
+        record = entry["record"]
+        deciles = record.get("restoration_cdf_ms") or []
+        if deciles:
+            cdf = (
+                f"restoration p0/p50/p100 = {deciles[0]:.1f}"
+                f"/{deciles[5]:.1f}/{deciles[10]:.1f} ms"
+            )
+        else:
+            cdf = "no restoration chains"
+        prefix_chains = sum(
+            outage["prefixes_restored"] for outage in entry["outages"]
+        )
+        print(
+            f"  {record['name']}/{','.join(record['failures']) or 'none'}"
+            f" seed={record['seed']}: {prefix_chains} prefix chain(s), {cdf}"
+        )
+    print(f"report written to {json_path} and {html_path}")
+    return 0 if healthy else 1
+
+
 def _cmd_trace(arguments: argparse.Namespace) -> int:
     """Dump the structured sim-time trace of one scenario run."""
     spec = get_preset(arguments.preset, **_scenario_overrides(arguments))
     if not spec.telemetry:
         spec = spec.with_overrides(telemetry=True).validate()
-    record, lab = execute_scenario(spec, timeout=arguments.timeout)
+    if arguments.out:
+        with open(arguments.out, "w", encoding="utf-8") as sink:
+            record, lab = execute_scenario(
+                spec, timeout=arguments.timeout, trace_sink=sink
+            )
+    else:
+        record, lab = execute_scenario(spec, timeout=arguments.timeout)
     events = lab.telemetry.trace.events(name=arguments.event or None)
     if arguments.limit is not None:
         events = events[-arguments.limit:]
@@ -372,6 +467,10 @@ def _cmd_trace(arguments: argparse.Namespace) -> int:
                 f"{key}={value}" for key, value in sorted(event.fields.items())
             )
             print(f"  {event.at * 1e3:12.3f} ms  {event.name:<24} {fields}")
+        if arguments.out:
+            print(
+                f"{lab.telemetry.trace.emitted} events written to {arguments.out}"
+            )
     return 0 if record["converged"] and record["recovered"] else 1
 
 
@@ -499,8 +598,34 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit the aggregate report (incl. stage"
                               " histograms) as JSON")
+    metrics.add_argument("--openmetrics", action="store_true",
+                         help="run the preset once and print its metrics"
+                              " registry in OpenMetrics text format")
     _add_seed_option(metrics)
     metrics.set_defaults(handler=_cmd_metrics)
+
+    report = commands.add_parser(
+        "report",
+        help="causal provenance report: per-prefix restoration chains,"
+             " stage waterfall and CDF as JSON + HTML",
+    )
+    report.add_argument("--preset", default="remote-withdraw",
+                        choices=preset_names())
+    report.add_argument("--prefixes", type=int, default=None)
+    report.add_argument("--flows", type=int, default=None)
+    report.add_argument("--providers", type=int, default=None)
+    report.add_argument("--failures", nargs="*", default=None,
+                        help="grid: failure campaigns (default: the preset's"
+                             " own failure schedule)")
+    report.add_argument("--out", default="campaign_report",
+                        help="artifact base path; writes <out>.json and"
+                             " <out>.html (default: campaign_report)")
+    report.add_argument("--timeout", type=float, default=600.0)
+    report.add_argument("--json", action="store_true",
+                        help="print the JSON report to stdout instead of"
+                             " writing artifacts")
+    _add_seed_option(report)
+    report.set_defaults(handler=_cmd_report)
 
     trace = commands.add_parser(
         "trace", help="dump the structured sim-time trace of one scenario"
@@ -513,6 +638,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="only show events with this exact name")
     trace.add_argument("--limit", type=int, default=None,
                        help="show only the last N matching events")
+    trace.add_argument("--out", default=None, metavar="FILE",
+                       help="stream every emitted event to FILE as JSONL"
+                            " (not bounded by the ring capacity)")
     trace.add_argument("--timeout", type=float, default=600.0)
     trace.add_argument("--json", action="store_true",
                        help="emit the trace as JSON")

@@ -443,6 +443,11 @@ class SuperchargedController:
         # control plane catches up separately when its BGP session reopens.
         if self.convergence is not None:
             self.convergence.peer_restored(peer_ip, now=self._sim.now)
+            if self._telemetry is not None:
+                self._telemetry.counter("controller.recoveries").inc()
+                self._telemetry.emit(
+                    "ctrl.peer_restored", controller=self.name, peer=str(peer_ip)
+                )
 
     def _handle_bgp_peer_down(self, peer_ip: IPv4Address, reason: str) -> None:
         return

@@ -122,6 +122,11 @@ class FlowProvisioner:
                 self._telemetry.histogram(
                     "provisioner.flow_mods_per_batch", BATCH_SIZE_EDGES
                 ).observe(float(len(entries)))
+                # Push-leg provenance: the flow-mod bundle leaving for the
+                # switch (the ambient outage id is stamped by the bus).
+                self._telemetry.emit(
+                    "provisioner.push", rules=len(entries), batched=True
+                )
         return results
 
     #: Alias emphasising the generic form: point arbitrary (group, next hop)
@@ -162,6 +167,7 @@ class FlowProvisioner:
         if self._telemetry is not None:
             self._telemetry.counter("provisioner.rest_calls").inc()
             self._telemetry.counter("provisioner.rules").inc()
+            self._telemetry.emit("provisioner.push", rules=1, batched=False)
         return True
 
     @staticmethod

@@ -221,6 +221,11 @@ class FibUpdater:
                     updater=self.name,
                     wait_ms=round((now - self._batch_origin) * 1e3, 6),
                 )
+            if request.adjacency is not None:
+                # Causal install leg: a write landing while an outage is
+                # open is that prefix's restoration instant (no-op and
+                # cheap outside an outage — the ledger drops it).
+                self._telemetry.restored(request.prefix)
         for callback in list(self._listeners):
             callback(request.prefix, request.adjacency, now)
 

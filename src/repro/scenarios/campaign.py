@@ -20,7 +20,7 @@ import json
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, IO, List, Mapping, Optional, Sequence, Tuple
 
 from repro.scenarios.failures import FailureInjector
 from repro.scenarios.spec import ScenarioSpec, ScenarioSpecError, failure_campaign
@@ -112,12 +112,16 @@ def run_scenario(spec: ScenarioSpec, timeout: float = 600.0) -> Dict[str, Any]:
 
 
 def execute_scenario(
-    spec: ScenarioSpec, timeout: float = 600.0
+    spec: ScenarioSpec,
+    timeout: float = 600.0,
+    trace_sink: Optional[IO[str]] = None,
 ) -> "Tuple[Dict[str, Any], ScenarioLab]":
     """Like :func:`run_scenario`, but also returns the finished lab so
-    callers (``cli trace``, tests) can inspect its telemetry context."""
+    callers (``cli trace``, tests) can inspect its telemetry context.
+    ``trace_sink`` streams every trace event to a JSONL file as it is
+    emitted (``cli trace --out``), bypassing the ring buffer's capacity."""
     sim = Simulator(seed=spec.seed)
-    lab = build_scenario(sim, spec)
+    lab = build_scenario(sim, spec, trace_sink=trace_sink)
     lab.start()
     lab.load_feeds()
     converged = lab.wait_converged(timeout=timeout)
@@ -222,6 +226,24 @@ def execute_scenario(
         ),
         "trace_events": (
             lab.telemetry.trace.emitted if lab.telemetry is not None else None
+        ),
+        # --- telemetry: causal provenance ------------------------------
+        # Compact per-outage chain summaries and the restoration-latency
+        # deciles (p0..p100) of the first outage's per-prefix chains; the
+        # full CDF is available from the lab's ledger (``cli report``).
+        "outage_chains": (
+            lab.telemetry.ledger.outage_summaries()
+            if lab.telemetry is not None
+            else None
+        ),
+        "restoration_cdf_ms": (
+            lab.telemetry.ledger.restoration_deciles_ms(
+                lab.telemetry.causal.outages()[0].outage_id
+                if lab.telemetry.causal.outages()
+                else None
+            )
+            if lab.telemetry is not None
+            else None
         ),
     }
     return record, lab
@@ -378,8 +400,9 @@ class CampaignResult:
         return _stats_module().format_table(headers, rows)
 
     def stage_summary(self) -> str:
-        """Campaign-level stage summary (mean/min/max over the scenarios
-        that observed each stage)."""
+        """Campaign-level stage summary (mean/min/max plus the fixed-edge
+        histogram's interpolated p50/p95/p99 over the scenarios that
+        observed each stage)."""
         lines = []
         for stage, key in zip(STAGES, STAGE_RECORD_KEYS):
             values = [
@@ -387,9 +410,16 @@ class CampaignResult:
             ]
             if values:
                 mean = sum(values) / len(values)
+                histogram = Histogram(key, STAGE_MS_EDGES)
+                for value in values:
+                    histogram.observe(value)
+                p50 = histogram.quantile(0.50)
+                p95 = histogram.quantile(0.95)
+                p99 = histogram.quantile(0.99)
                 lines.append(
                     f"  {stage:<8}: n={len(values)}  mean {mean:8.1f} ms"
                     f"  min {min(values):8.1f} ms  max {max(values):8.1f} ms"
+                    f"  p50 {p50:8.1f} ms  p95 {p95:8.1f} ms  p99 {p99:8.1f} ms"
                 )
             else:
                 lines.append(f"  {stage:<8}: n=0")

@@ -123,7 +123,9 @@ class FailureInjector:
         if disruptive:
             if self.first_failure_time is None:
                 self.first_failure_time = now
-            self.lab.note_failure(now, provider_index=provider_index)
+            self.lab.note_failure(
+                now, provider_index=provider_index, kind=failure.kind
+            )
 
     # ------------------------------------------------------------------
     # Target resolution

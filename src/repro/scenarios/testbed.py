@@ -21,7 +21,7 @@ pinning ``num_providers=2`` and the legacy naming.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, IO, List, Optional
 
 from repro.bgp.attributes import PathAttributes
 from repro.bgp.messages import UpdateMessage
@@ -34,6 +34,7 @@ from repro.net.addresses import IPv4Address, IPv4Prefix, MacAddress
 from repro.net.links import Link
 from repro.openflow.controller_channel import ControllerChannel
 from repro.openflow.flow_table import Actions, FlowEntry, FlowMatch
+from repro.openflow.messages import FlowMod, FlowModCommand
 from repro.openflow.switch import OpenFlowSwitch, SwitchConfig
 from repro.router.fib_updater import FibUpdaterConfig
 from repro.router.router import Router, RouterConfig, StaticRoute
@@ -46,6 +47,7 @@ from repro.telemetry import (
     STAGE_DETECT,
     STAGE_INSTALL,
     STAGE_PUSH,
+    SimProfiler,
     StageTimeline,
     Telemetry,
     timeline_recorder,
@@ -309,6 +311,7 @@ class ScenarioLab:
         *,
         fib_updater: Optional[FibUpdaterConfig] = None,
         switch_config: Optional[SwitchConfig] = None,
+        trace_sink: Optional[IO[str]] = None,
     ) -> None:
         spec.validate()
         self.sim = sim
@@ -350,11 +353,20 @@ class ScenarioLab:
         #: Updates scheduled by :meth:`start_churn` (0 = churn disabled).
         self.churn_updates_scheduled = 0
         #: Sim-time observability context (None when the spec disables it).
+        #: ``trace_sink`` (``cli trace --out``) streams every emitted event
+        #: to a JSONL file, so big campaigns stop losing early events to
+        #: ring eviction.
         self.telemetry: Optional[Telemetry] = (
-            Telemetry(clock=lambda: sim.now, trace_capacity=spec.trace_capacity)
+            Telemetry(
+                clock=lambda: sim.now,
+                trace_capacity=spec.trace_capacity,
+                sink=trace_sink,
+            )
             if spec.telemetry
             else None
         )
+        #: Deterministic event-loop profiler (installed by telemetry wiring).
+        self.profiler: Optional[SimProfiler] = None
         #: Per-episode convergence stage marks (detect/decide/push/install).
         self.stage_timeline = StageTimeline()
         #: Stage offsets of *closed* episodes (archived by the next
@@ -773,8 +785,20 @@ class ScenarioLab:
                 f"detection.{DETECTION_BGP}": STAGE_DETECT,
                 "ctrl.failover": STAGE_DECIDE,
                 "remote.flush": STAGE_DECIDE,
+                # Remote withdrawals with no group churn decide through the
+                # controller relaying rewritten routes to the router (first
+                # mark wins, so local failovers keep ctrl.failover/remote.flush).
+                f"detection.{DETECTION_CONTROLLER_PUSH}": STAGE_DECIDE,
                 "channel.delivered": STAGE_PUSH,
                 "switch.flow_mod_applied": STAGE_INSTALL,
+                # Router-side fallback legs for the same reason: a remote
+                # withdrawal that needs no group churn converges through
+                # the measured router's RIB→FIB download, not the switch.
+                # Local failovers finish on the switch milliseconds before
+                # the router moves, so first-mark-wins keeps their
+                # channel/switch attribution intact.
+                "fib.batch_start": STAGE_PUSH,
+                "fib.apply_first": STAGE_INSTALL,
             }
         return {
             f"detection.{DETECTION_BFD}": STAGE_DETECT,
@@ -803,12 +827,29 @@ class ScenarioLab:
         for controller in self.controllers:
             controller.attach_telemetry(telemetry)
         if self.switch is not None and self.spec.supercharged:
-            self.switch.on_flow_mod_applied(
-                lambda flow_mod: telemetry.emit("switch.flow_mod_applied")
-            )
+
+            def flow_mod_applied(flow_mod: FlowMod) -> None:
+                telemetry.emit("switch.flow_mod_applied")
+                # A non-delete mod re-pointing a backup-group VMAC is that
+                # group's restoration instant (ledger ignores it outside
+                # an outage, so provisioning writes mint no chains).
+                if (
+                    flow_mod.command is not FlowModCommand.DELETE
+                    and flow_mod.match.eth_dst is not None
+                ):
+                    telemetry.restored(flow_mod.match.eth_dst, kind="group")
+
+            self.switch.on_flow_mod_applied(flow_mod_applied)
         telemetry.trace.on_emit(
             timeline_recorder(self.stage_timeline, self._stage_mapping())
         )
+        # Causal ledger: per-outage stage marks folded with the per-prefix
+        # restoration instants reported by the measured FIB updater.
+        telemetry.trace.on_emit(telemetry.ledger.recorder(self._stage_mapping()))
+        # Deterministic event-loop profiler: passive per-handler counts and
+        # sim-time attribution (the observer never schedules or mutates).
+        self.profiler = SimProfiler()
+        self.sim.set_observer(self.profiler.observe)
 
     def stage_offsets(self) -> Dict[str, Optional[float]]:
         """Milliseconds from the *first* noted failure to each convergence
@@ -963,10 +1004,16 @@ class ScenarioLab:
                 )
 
     def note_failure(
-        self, when: Optional[float] = None, provider_index: Optional[int] = None
+        self,
+        when: Optional[float] = None,
+        provider_index: Optional[int] = None,
+        kind: Optional[str] = None,
     ) -> float:
-        """Record the instant (and, if known, the provider) of a failure
-        event — the anchors :meth:`measure` reports against."""
+        """Record the instant (and, if known, the provider and failure
+        kind) of a failure event — the anchors :meth:`measure` reports
+        against.  With telemetry on this also mints the episode's causal
+        root: a deterministic ``outage-<n>`` context that the trace bus
+        stamps into every subsequent event until the next injection."""
         if self.telemetry is not None and self.last_failure_time is not None:
             # Close the running episode: archive its stage offsets before
             # the timeline resets for the new one.
@@ -980,9 +1027,16 @@ class ScenarioLab:
         self.detection.new_episode()
         self.stage_timeline.reset()
         if self.telemetry is not None:
+            outage_id = self.telemetry.causal.open_outage(
+                self.last_failure_time,
+                kind=kind,
+                provider=self.last_failed_provider,
+            )
             self.telemetry.counter("lab.episodes").inc()
             self.telemetry.emit(
                 "lab.episode",
+                outage=outage_id,
+                kind=kind,
                 provider=self.last_failed_provider
                 if self.last_failed_provider is not None
                 else -1,
@@ -994,7 +1048,7 @@ class ScenarioLab:
     def fail_provider(self, index: int = 0) -> float:
         """Disconnect provider ``index`` from the switch (the paper's
         failure event for ``index=0``)."""
-        failure_time = self.note_failure(provider_index=index)
+        failure_time = self.note_failure(provider_index=index, kind="link_down")
         self.provider_link(index).fail()
         if self.monitor is not None:
             self.monitor.notify_forwarding_change()
@@ -1228,6 +1282,10 @@ class ScenarioLab:
         )
 
 
-def build_scenario(sim: Simulator, spec: ScenarioSpec) -> ScenarioLab:
+def build_scenario(
+    sim: Simulator,
+    spec: ScenarioSpec,
+    trace_sink: Optional[IO[str]] = None,
+) -> ScenarioLab:
     """Validate ``spec``, compile it and wire every device."""
-    return ScenarioLab(sim, spec).build()
+    return ScenarioLab(sim, spec, trace_sink=trace_sink).build()

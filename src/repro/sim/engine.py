@@ -139,6 +139,9 @@ class Simulator:
         self._cancelled = 0
         self._epoch = 0
         self._running = False
+        #: Optional passive observer called as ``observer(name, when)``
+        #: after each executed event (see :meth:`set_observer`).
+        self._observer: Optional[Callable[[str, float], None]] = None
         self.random = SeededRandom(seed)
         #: Free-form registry components may use to find each other by name.
         self.registry: Dict[str, Any] = {}
@@ -155,6 +158,18 @@ class Simulator:
     def events_executed(self) -> int:
         """Number of events executed so far (diagnostic counter)."""
         return self._executed
+
+    def set_observer(self, observer: Optional[Callable[[str, float], None]]) -> None:
+        """Install (or clear, with ``None``) the event-loop observer.
+
+        The observer is called as ``observer(event_name, when)`` for every
+        executed event, *before* its callback runs.  It must be strictly
+        passive — the sim profiler counts and attributes sim time, nothing
+        more — so installing one never changes the trajectory.  When no
+        observer is installed the loop pays one attribute load and an
+        ``is not None`` test per event.
+        """
+        self._observer = observer
 
     @property
     def pending_events(self) -> int:
@@ -344,6 +359,8 @@ class Simulator:
         self._now = when
         self._executed += 1
         event.executed = True
+        if self._observer is not None:
+            self._observer(event.name, when)
         callback()
         return True
 
@@ -398,6 +415,9 @@ class Simulator:
                     self._now = when
                     executed += 1
                     event.executed = True
+                    observer = self._observer
+                    if observer is not None:
+                        observer(event.name, when)
                     callback()
                 return self._now
             while True:
@@ -416,6 +436,8 @@ class Simulator:
                 executed += 1
                 event = entry[3]
                 event.executed = True
+                if self._observer is not None:
+                    self._observer(event.name, when)
                 entry[2]()
             if until is not None and until > self._now:
                 self._now = until

@@ -93,12 +93,15 @@ class RemoteRepointEngine:
         self.prefixes_covered = 0
         self.fallback_prefixes = 0
         self._telemetry = None
+        self._holddown_span = None
 
     def attach_telemetry(self, telemetry) -> None:
         """Enable flush telemetry: a ``remote.flush`` trace event per flush
         run (dirty groups seen, pending-buffer depth, repoints, fallback
         prefixes — the *decide* stage for remote failures) plus a
-        pending-depth gauge sampled at flush time."""
+        pending-depth gauge sampled at flush time and a
+        ``remote.holddown`` span measuring each arm→flush churn window
+        (its ``duration`` is the jittered holddown actually waited)."""
         self._telemetry = telemetry
 
     # ------------------------------------------------------------------
@@ -127,6 +130,9 @@ class RemoteRepointEngine:
         ignore everything from here on — a dead replica must not keep
         programming the switch."""
         self._stopped = True
+        # An armed churn window dies with the engine: drop the span
+        # without ending it (no event for a window that never flushed).
+        self._holddown_span = None
         if self._flush_handle is not None:
             self._flush_handle.cancel()
             self._flush_handle = None
@@ -143,6 +149,10 @@ class RemoteRepointEngine:
         self._flush_handle = self._sim.schedule(
             delay, self._flush, name="remote:flush"
         )
+        if self._telemetry is not None and self._holddown_span is None:
+            # Provenance for the decide leg: how long churn accumulated
+            # before this flush (span end stamps the ambient outage id).
+            self._holddown_span = self._telemetry.span("remote.holddown")
 
     def _flush(self) -> None:
         self._flush_handle = None
@@ -173,6 +183,10 @@ class RemoteRepointEngine:
                     covered += group.prefix_count
             else:
                 fallback += self._fall_back(group, actions)
+        if self._holddown_span is not None:
+            span = self._holddown_span
+            self._holddown_span = None
+            span.end(dirty_groups=dirty_groups, pending_depth=pending_depth)
         flow_mods = 0
         if repoints:
             before = self._provisioner.rules_pushed

@@ -50,6 +50,7 @@ from repro.supercharge.engine import RemoteRepointEngine
 from repro.supercharge.planner import RemoteGroup, RemoteGroupPlanner
 from repro.telemetry.metrics import MetricsRegistry
 from repro.telemetry.process import peak_rss_mb, sample_scale_gauges
+from repro.telemetry.profile import sample_shard_gauges
 
 
 def shard_of_key(key: GroupKey, num_shards: int) -> int:
@@ -357,6 +358,12 @@ def run_sharded_build(
         telemetry,
         rib_prefixes=totals["prefixes_loaded"],
         shard_count=num_shards,
+    )
+    # Per-shard balance gauges (plus min/max skew) — the sharded-build
+    # half of the sim profiler's per-shard observability.
+    sample_shard_gauges(
+        telemetry,
+        [(r.shard, r.prefixes_loaded, r.groups, r.flow_mods) for r in results],
     )
     return {
         "num_shards": num_shards,

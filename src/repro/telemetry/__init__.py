@@ -39,8 +39,15 @@ from __future__ import annotations
 
 from typing import Any, Callable, IO, Optional, Sequence
 
+from repro.telemetry.causal import (
+    CausalContext,
+    ConvergenceLedger,
+    OutageContext,
+)
+from repro.telemetry.export import render_openmetrics
 from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.process import peak_rss_mb, sample_scale_gauges
+from repro.telemetry.profile import SimProfiler, sample_shard_gauges
 from repro.telemetry.timeline import (
     STAGE_DECIDE,
     STAGE_DETECT,
@@ -53,10 +60,14 @@ from repro.telemetry.timeline import (
 from repro.telemetry.trace import Span, TraceBus, TraceEvent
 
 __all__ = [
+    "CausalContext",
+    "ConvergenceLedger",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "OutageContext",
+    "SimProfiler",
     "Span",
     "StageTimeline",
     "STAGES",
@@ -68,7 +79,9 @@ __all__ = [
     "TraceBus",
     "TraceEvent",
     "peak_rss_mb",
+    "render_openmetrics",
     "sample_scale_gauges",
+    "sample_shard_gauges",
     "timeline_recorder",
 ]
 
@@ -84,6 +97,12 @@ class Telemetry:
     ) -> None:
         self.trace = TraceBus(clock, capacity=trace_capacity, sink=sink)
         self.metrics = MetricsRegistry()
+        # Causal provenance: the outage-root context and the per-prefix
+        # restoration ledger.  The trace bus stamps the ambient outage id
+        # into every event emitted while an outage is open.
+        self.causal = CausalContext()
+        self.ledger = ConvergenceLedger(self.causal)
+        self.trace.bind_causal(self.causal)
 
     # Convenience pass-throughs so instrumented code reads naturally.
     def emit(self, name: str, **fields: Any) -> TraceEvent:
@@ -105,3 +124,19 @@ class Telemetry:
     def histogram(self, name: str, edges: Sequence[float]) -> Histogram:
         """Get or create a fixed-edge histogram."""
         return self.metrics.histogram(name, edges)
+
+    @property
+    def outage_id(self) -> Optional[str]:
+        """The ambient outage root id (None outside an outage)."""
+        return self.causal.current_id
+
+    def restored(self, subject: Any, kind: str = "prefix") -> None:
+        """Record a restored subject into the convergence ledger.
+
+        No-op outside an outage, so the initial table load stays free of
+        chains and the per-entry hot path pays one ``is None`` test.
+        ``subject`` is stringified lazily (only when a chain is minted).
+        """
+        if self.causal.current_id is None:
+            return
+        self.ledger.note_restored(str(subject), self.trace.now(), kind=kind)

@@ -133,8 +133,40 @@ class Histogram:
         """Arithmetic mean of the samples (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated quantile estimate (None when empty).
+
+        Prometheus-style: find the first bucket whose cumulative count
+        reaches ``q * count`` and interpolate linearly inside it.  The
+        estimate is clamped to the observed ``[min, max]`` so the
+        overflow bucket and sparse edges cannot extrapolate beyond the
+        sample range.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"histogram {self.name}: quantile {q} outside [0, 1]")
+        if self.count == 0 or self.min is None or self.max is None:
+            return None
+        target = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.counts):
+            previous = cumulative
+            cumulative += bucket_count
+            if cumulative < target or bucket_count == 0:
+                continue
+            if index >= len(self.edges):
+                # Overflow bucket: no finite upper bound to interpolate to.
+                return self.max
+            lower = self.edges[index - 1] if index > 0 else self.min
+            upper = self.edges[index]
+            estimate = lower + (upper - lower) * (target - previous) / bucket_count
+            return min(max(estimate, self.min), self.max)
+        return self.max
+
     def to_dict(self) -> Dict[str, Any]:
         """Primitive representation (rounded so floats stay stable)."""
+        p50 = self.quantile(0.50)
+        p95 = self.quantile(0.95)
+        p99 = self.quantile(0.99)
         return {
             "type": "histogram",
             "edges": list(self.edges),
@@ -143,6 +175,9 @@ class Histogram:
             "total": round(self.total, 9),
             "min": round(self.min, 9) if self.min is not None else None,
             "max": round(self.max, 9) if self.max is not None else None,
+            "p50": round(p50, 6) if p50 is not None else None,
+            "p95": round(p95, 6) if p95 is not None else None,
+            "p99": round(p99, 6) if p99 is not None else None,
         }
 
     def __repr__(self) -> str:

@@ -20,7 +20,16 @@ Determinism rules (the same contract as the metrics registry):
 
 :class:`Span` measures an interval in sim time: ``bus.span("x")`` opens
 it, ``span.end()`` emits one ``TraceEvent`` whose ``duration`` field is
-the elapsed simulated seconds.
+the elapsed simulated seconds.  Spans are also context managers: ``with
+bus.span("x"):`` ends the span on exit and records an escaping
+exception's type as an ``error`` field.
+
+Causal stamping: when a :class:`~repro.telemetry.causal.CausalContext`
+is bound (:meth:`TraceBus.bind_causal`) and an outage is open, every
+emitted event is stamped with the ambient ``outage`` root id — the
+passive thread that chains detection, engine flush, flow-mod push and
+FIB install records back to one failure injection.  An explicit
+``outage`` field from the emitter always wins over the ambient one.
 """
 
 from __future__ import annotations
@@ -28,7 +37,11 @@ from __future__ import annotations
 import json
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Deque, Dict, IO, List, Optional
+from types import TracebackType
+from typing import Any, Callable, Deque, Dict, IO, List, Optional, Type, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (causal imports us)
+    from repro.telemetry.causal import CausalContext
 
 
 @dataclass(frozen=True)
@@ -76,6 +89,26 @@ class Span:
         """Whether :meth:`end` has run."""
         return self._closed
 
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        # Auto-close on scope exit; a span the body already ended stays
+        # ended (no duplicate event).  Escaping exceptions are recorded
+        # by type name and then re-raised (we never suppress).
+        if self._closed:
+            return None
+        if exc_type is not None:
+            self.end(error=exc_type.__name__)
+        else:
+            self.end()
+        return None
+
 
 class TraceBus:
     """Bounded in-memory trace stream with an optional JSONL sink."""
@@ -93,6 +126,7 @@ class TraceBus:
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         self._sink = sink
         self._listeners: List[Callable[[TraceEvent], None]] = []
+        self._causal: Optional["CausalContext"] = None
         self.emitted = 0
 
     def now(self) -> float:
@@ -103,8 +137,18 @@ class TraceBus:
         """Register a listener fired synchronously for every event."""
         self._listeners.append(callback)
 
+    def bind_causal(self, causal: "CausalContext") -> None:
+        """Stamp the ambient outage id into every event emitted while an
+        outage is open (purely additive: pre-failure events are
+        unchanged, explicit ``outage`` fields win)."""
+        self._causal = causal
+
     def emit(self, name: str, **fields: Any) -> TraceEvent:
         """Record one event at the current clock reading."""
+        if self._causal is not None and "outage" not in fields:
+            outage_id = self._causal.current_id
+            if outage_id is not None:
+                fields["outage"] = outage_id
         event = TraceEvent(at=self._clock(), name=name, fields=fields)
         self._events.append(event)
         self.emitted += 1

@@ -334,12 +334,16 @@ class TestScenarioTelemetry:
             "telemetry",
             "trace_events",
             "flow_mod_queue_peak",
+            "outage_chains",
+            "restoration_cdf_ms",
         } | {f"stage_{stage}_ms" for stage in STAGES}
         for key in set(on) - telemetry_keys:
             assert on[key] == off[key], key
         assert off["trace_events"] is None
         assert off["stage_detect_ms"] is None
         assert off["flow_mod_queue_peak"] is None
+        assert off["outage_chains"] is None
+        assert off["restoration_cdf_ms"] is None
 
     def test_supercharged_stage_pipeline_is_ordered(self):
         record = run_scenario(_small_spec())
